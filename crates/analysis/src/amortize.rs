@@ -1,0 +1,105 @@
+//! Amortizing root queries over users (§4.3, Fig. 3 / 8 / 9 / 11a).
+//!
+//! "We divide (i.e., amortize) the number of queries to the root servers
+//! made by each recursive by the number of users that recursive
+//! represents. We weight this quotient (i.e., daily queries per user) by
+//! user count and calculate the resulting CDF."
+
+use crate::join::JoinedData;
+use crate::stats::WeightedCdf;
+use dns::zone::RootZone;
+
+/// Fig. 3's *CDN*/*APNIC* lines: the user-weighted CDF of daily queries
+/// per user, from a joined dataset.
+pub fn queries_per_user_cdf(joined: &JoinedData) -> WeightedCdf {
+    WeightedCdf::from_points(
+        joined
+            .entries
+            .iter()
+            .filter(|e| e.users > 0.0)
+            .map(|e| (e.queries_per_day / e.users, e.users))
+            .collect(),
+    )
+}
+
+/// Fig. 3's *Ideal* line: each recursive queries once per TLD per TTL
+/// and amortizes uniformly over its users — i.e. replace every entry's
+/// observed volume with the zone's ideal rate.
+pub fn ideal_queries_per_user_cdf(joined: &JoinedData, zone: &RootZone) -> WeightedCdf {
+    let ideal = zone.ideal_daily_queries_per_recursive();
+    WeightedCdf::from_points(
+        joined
+            .entries
+            .iter()
+            .filter(|e| e.users > 0.0)
+            .map(|e| (ideal / e.users, e.users))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::{JoinKey, JoinedEntry, JoinStats};
+    use topology::Prefix24;
+
+    fn joined(entries: Vec<(f64, f64)>) -> JoinedData {
+        JoinedData {
+            entries: entries
+                .into_iter()
+                .enumerate()
+                .map(|(i, (q, u))| JoinedEntry {
+                    key: JoinKey::Prefix(Prefix24(i as u32)),
+                    users: u,
+                    queries_per_day: q,
+                })
+                .collect(),
+            stats: JoinStats::default(),
+        }
+    }
+
+    #[test]
+    fn amortization_divides_by_users() {
+        let j = joined(vec![(100.0, 100.0), (1000.0, 100.0)]);
+        let cdf = queries_per_user_cdf(&j);
+        assert_eq!(cdf.quantile(0.25), 1.0);
+        assert_eq!(cdf.quantile(0.9), 10.0);
+    }
+
+    #[test]
+    fn weighting_is_by_users_not_recursives() {
+        // One huge recursive at 1 q/u/day, many tiny ones at 100 q/u/day:
+        // the user-weighted median is 1.
+        let mut entries = vec![(1_000_000.0, 1_000_000.0)];
+        for _ in 0..50 {
+            entries.push((100.0, 1.0));
+        }
+        let cdf = queries_per_user_cdf(&joined(entries));
+        assert_eq!(cdf.median(), 1.0);
+    }
+
+    #[test]
+    fn ideal_line_uses_zone_rate() {
+        let zone = RootZone::generate(1, 1000); // ideal = 500/day
+        let j = joined(vec![(12345.0, 50_000.0)]);
+        let cdf = ideal_queries_per_user_cdf(&j, &zone);
+        assert!((cdf.median() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_is_far_below_observed() {
+        // §4.3: "the assumption is orders of magnitude off from reality".
+        let zone = RootZone::generate(1, 1000);
+        let j = joined(vec![(50_000.0, 50_000.0), (80_000.0, 20_000.0)]);
+        let observed = queries_per_user_cdf(&j).median();
+        let ideal = ideal_queries_per_user_cdf(&j, &zone).median();
+        assert!(observed / ideal > 50.0, "{observed} vs {ideal}");
+    }
+
+    #[test]
+    fn zero_user_entries_are_ignored() {
+        let j = joined(vec![(10.0, 0.0), (10.0, 10.0)]);
+        let cdf = queries_per_user_cdf(&j);
+        assert_eq!(cdf.len(), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! DDoS resilience under anycast — the growth driver the paper surveys
+//! but does not measure.
+//!
+//! Table 1's most-cited reason for root expansion is DDoS resilience
+//! (9 of 11 operators), and §8 points at the November 2015 root event
+//! study (Moura et al., IMC 2016): under attack, anycast sites either
+//! *absorb* the load or *collapse and withdraw*, shifting their
+//! catchment onto survivors — possibly cascading. This module simulates
+//! that dynamic over any deployment:
+//!
+//! 1. route legitimate users and attack sources through the current
+//!    catchment,
+//! 2. sites loaded beyond capacity fail and withdraw their announcement,
+//! 3. recompute catchments and repeat to a fixed point.
+//!
+//! The outcome quantifies what extra sites buy: more aggregate capacity
+//! (fewer withdrawals) and gentler degradation (smaller latency shift
+//! for the users whose site died).
+
+use crate::stats::WeightedCdf;
+use geo::GeoPoint;
+use netsim::{LastMile, LatencyModel, PathProfile};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use topology::{AnycastDeployment, AsGraph, Asn, Catchment, RouteCache, SiteId};
+
+/// A weighted traffic source: who sends, from where, how much.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficSource {
+    /// Source AS.
+    pub asn: Asn,
+    /// Source location.
+    pub location: GeoPoint,
+    /// Load contributed (user count for legitimate traffic, attack units
+    /// for attack traffic).
+    pub load: f64,
+}
+
+/// Attack description.
+#[derive(Debug, Clone)]
+pub struct AttackSpec {
+    /// Attack sources (botnet footprint), with per-source volume.
+    pub sources: Vec<TrafficSource>,
+}
+
+impl AttackSpec {
+    /// Total attack volume.
+    pub fn total_volume(&self) -> f64 {
+        self.sources.iter().map(|s| s.load).sum()
+    }
+}
+
+/// Outcome of one attack simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Sites that collapsed and withdrew, in order of failure round.
+    pub withdrawn_sites: Vec<SiteId>,
+    /// User-weighted latency before the attack, ms.
+    pub latency_before: WeightedCdf,
+    /// User-weighted latency of still-served users at the fixed point.
+    pub latency_after: WeightedCdf,
+    /// Fraction of users left with no reachable, surviving site.
+    pub unserved_user_fraction: f64,
+    /// Rounds until the failure cascade stabilized.
+    pub rounds: usize,
+}
+
+impl AttackOutcome {
+    /// Whether the deployment rode out the attack (no user lost service).
+    pub fn survived(&self) -> bool {
+        self.unserved_user_fraction < 1e-9
+    }
+}
+
+/// Simulates `attack` against `deployment`.
+///
+/// `users` carries the legitimate load (weight = users); `capacity` is
+/// each site's load limit in the same units (legit + attack combined).
+/// Local sites participate: they shield their neighborhoods, which is
+/// precisely the "ISP resilience" argument of §7.3.
+pub fn simulate_attack(
+    graph: &AsGraph,
+    deployment: &AnycastDeployment,
+    model: &LatencyModel,
+    users: &[TrafficSource],
+    attack: &AttackSpec,
+    capacity_per_site: f64,
+) -> AttackOutcome {
+    assert!(capacity_per_site > 0.0, "sites need positive capacity");
+    let mut cache = RouteCache::new();
+
+    // Baseline latency with the full deployment.
+    let full = Catchment::compute(graph, deployment, &mut cache);
+    let mut latency_before_pts = Vec::new();
+    for u in users {
+        if let Some(a) = full.assign(u.asn, &u.location) {
+            let ms = model.median_rtt_ms(&PathProfile::from_assignment(&a, LastMile::Broadband));
+            latency_before_pts.push((ms, u.load));
+        }
+    }
+
+    let mut withdrawn: Vec<SiteId> = Vec::new();
+    let mut dead: HashSet<SiteId> = HashSet::new();
+    let mut rounds = 0;
+    let total_users: f64 = users.iter().map(|u| u.load).sum();
+    let (latency_after, unserved) = loop {
+        rounds += 1;
+        // Remaining deployment.
+        let alive: Vec<topology::AnycastSite> = deployment
+            .sites
+            .iter()
+            .filter(|s| !dead.contains(&s.id))
+            .cloned()
+            .collect();
+        if alive.is_empty() {
+            break (WeightedCdf::from_points(vec![]), 1.0);
+        }
+        // Re-id densely, remembering the original ids.
+        let original: Vec<SiteId> = alive.iter().map(|s| s.id).collect();
+        let sites: Vec<topology::AnycastSite> = alive
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut s)| {
+                s.id = SiteId(i as u32);
+                s
+            })
+            .collect();
+        let mut dep = AnycastDeployment::new(deployment.name.clone(), sites, deployment.withhold.clone());
+        dep.origin_as = deployment.origin_as;
+        dep.direct_hosts = deployment.direct_hosts.clone();
+        let catchment = Catchment::compute(graph, &dep, &mut cache);
+
+        // Load per (surviving) site.
+        let mut load: HashMap<SiteId, f64> = HashMap::new();
+        let mut latency_pts = Vec::new();
+        let mut served = 0.0;
+        for u in users {
+            if let Some(a) = catchment.assign(u.asn, &u.location) {
+                *load.entry(a.site).or_default() += u.load;
+                served += u.load;
+                let ms = model
+                    .median_rtt_ms(&PathProfile::from_assignment(&a, LastMile::Broadband));
+                latency_pts.push((ms, u.load));
+            }
+        }
+        for s in &attack.sources {
+            if let Some(a) = catchment.assign(s.asn, &s.location) {
+                *load.entry(a.site).or_default() += s.load;
+            }
+        }
+
+        // Collapse every overloaded site this round (simultaneous, like
+        // a volumetric attack hitting all catchments at once).
+        let mut failed_this_round: Vec<SiteId> = load
+            .iter()
+            .filter(|(_, l)| **l > capacity_per_site)
+            .map(|(s, _)| *s)
+            .collect();
+        failed_this_round.sort();
+        if failed_this_round.is_empty() {
+            let unserved = if total_users > 0.0 { 1.0 - served / total_users } else { 0.0 };
+            break (WeightedCdf::from_points(latency_pts), unserved.max(0.0));
+        }
+        for s in failed_this_round {
+            let orig = original[s.0 as usize];
+            dead.insert(orig);
+            withdrawn.push(orig);
+        }
+        if rounds > deployment.sites.len() + 1 {
+            // Every round kills at least one site, so this is unreachable;
+            // guard against accounting bugs.
+            unreachable!("failure cascade did not converge");
+        }
+    };
+
+    AttackOutcome {
+        withdrawn_sites: withdrawn,
+        latency_before: WeightedCdf::from_points(latency_before_pts),
+        latency_after,
+        unserved_user_fraction: unserved,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::{InternetGenerator, SiteScope, TopologyConfig};
+
+    fn setup(n_sites: usize) -> (topology::gen::Internet, AnycastDeployment, Vec<TrafficSource>) {
+        let mut net = InternetGenerator::generate(&TopologyConfig::small(111));
+        let hosts = net.sample_hosters(n_sites);
+        let sites: Vec<topology::AnycastSite> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| topology::AnycastSite {
+                id: SiteId(i as u32),
+                name: format!("s{i}"),
+                host: *h,
+                location: net.graph.node(*h).pops[0],
+                scope: SiteScope::Global,
+            })
+            .collect();
+        let dep = AnycastDeployment::new("ddos-test", sites, vec![]);
+        let users: Vec<TrafficSource> = net
+            .user_locations()
+            .iter()
+            .map(|l| TrafficSource {
+                asn: l.asn,
+                location: net.world.region(l.region).center,
+                load: 1.0,
+            })
+            .collect();
+        (net, dep, users)
+    }
+
+    fn attack_from(users: &[TrafficSource], n: usize, volume: f64) -> AttackSpec {
+        AttackSpec {
+            sources: users
+                .iter()
+                .take(n)
+                .map(|u| TrafficSource { load: volume / n as f64, ..*u })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn no_attack_no_withdrawals() {
+        let (net, dep, users) = setup(4);
+        let outcome = simulate_attack(
+            &net.graph,
+            &dep,
+            &LatencyModel::default(),
+            &users,
+            &AttackSpec { sources: vec![] },
+            1e12,
+        );
+        assert!(outcome.withdrawn_sites.is_empty());
+        assert!(outcome.survived());
+        assert_eq!(outcome.rounds, 1);
+    }
+
+    #[test]
+    fn overwhelming_attack_kills_everything() {
+        let (net, dep, users) = setup(3);
+        let total: f64 = users.iter().map(|u| u.load).sum();
+        let attack = attack_from(&users, 10, total * 100.0);
+        let outcome = simulate_attack(
+            &net.graph,
+            &dep,
+            &LatencyModel::default(),
+            &users,
+            &attack,
+            total, // capacity below attack volume no matter the split
+        );
+        assert_eq!(outcome.withdrawn_sites.len(), 3);
+        assert!((outcome.unserved_user_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_attack_shifts_catchments_and_raises_latency() {
+        let (net, dep, users) = setup(6);
+        // Find the hottest site's pre-attack load and set capacity just
+        // below what it would carry with a moderate attack on top —
+        // guaranteeing at least one collapse while leaving headroom
+        // elsewhere.
+        let total: f64 = users.iter().map(|u| u.load).sum();
+        let mut cache = RouteCache::new();
+        let catchment = Catchment::compute(&net.graph, &dep, &mut cache);
+        let mut load: HashMap<SiteId, f64> = HashMap::new();
+        for u in &users {
+            if let Some(a) = catchment.assign(u.asn, &u.location) {
+                *load.entry(a.site).or_default() += u.load;
+            }
+        }
+        let max_load = load.values().fold(0.0f64, |m, v| m.max(*v));
+        let attack = attack_from(&users, 3, total * 0.5);
+        let outcome = simulate_attack(
+            &net.graph,
+            &dep,
+            &LatencyModel::default(),
+            &users,
+            &attack,
+            max_load * 1.01, // legit alone fits; legit + attack does not
+        );
+        assert!(!outcome.withdrawn_sites.is_empty(), "some site should collapse");
+        assert!(outcome.rounds >= 2, "the cascade must iterate");
+        if !outcome.latency_after.is_empty() {
+            // Survivors exist and their latency did not improve.
+            assert!(outcome.latency_after.median() + 1e-9 >= outcome.latency_before.median());
+        } else {
+            assert!((outcome.unserved_user_fraction - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_sites_buy_resilience() {
+        // The same absolute attack against 3 vs 8 sites, with per-site
+        // capacity fixed: the larger deployment must withdraw no more
+        // sites and serve at least as many users.
+        let (net, small, users) = setup(3);
+        let (_, _, _) = (&net, &small, &users);
+        let total: f64 = users.iter().map(|u| u.load).sum();
+        let attack = attack_from(&users, 5, total * 1.5);
+        let cap = total * 0.8;
+        let model = LatencyModel::default();
+        let small_out = simulate_attack(&net.graph, &small, &model, &users, &attack, cap);
+
+        let (net2, big, users2) = setup(8);
+        let attack2 = attack_from(&users2, 5, total * 1.5);
+        let big_out = simulate_attack(&net2.graph, &big, &model, &users2, &attack2, cap);
+        assert!(
+            big_out.unserved_user_fraction <= small_out.unserved_user_fraction + 1e-9,
+            "8 sites unserved {} vs 3 sites {}",
+            big_out.unserved_user_fraction,
+            small_out.unserved_user_fraction
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let (net, dep, users) = setup(2);
+        simulate_attack(
+            &net.graph,
+            &dep,
+            &LatencyModel::default(),
+            &users,
+            &AttackSpec { sources: vec![] },
+            0.0,
+        );
+    }
+}

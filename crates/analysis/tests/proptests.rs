@@ -1,0 +1,69 @@
+//! Property tests for the statistics layer: CDF axioms and amortization
+//! conservation.
+
+use anycast_analysis::amortize::queries_per_user_cdf;
+use anycast_analysis::join::{JoinKey, JoinStats, JoinedData, JoinedEntry};
+use anycast_analysis::stats::WeightedCdf;
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0f64..1e4, 0.01f64..1e3), 1..60)
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone(points in arb_points(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let cdf = WeightedCdf::from_points(points);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
+    }
+
+    #[test]
+    fn fraction_at_most_is_monotone_cdf(points in arb_points(), x1 in 0.0f64..1e4, x2 in 0.0f64..1e4) {
+        let cdf = WeightedCdf::from_points(points);
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(cdf.fraction_at_most(lo) <= cdf.fraction_at_most(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&cdf.fraction_at_most(hi)));
+    }
+
+    #[test]
+    fn quantile_and_fraction_are_consistent(points in arb_points(), q in 0.01f64..0.99) {
+        let cdf = WeightedCdf::from_points(points);
+        let v = cdf.quantile(q);
+        // At least q of the mass sits at or below the q-quantile.
+        prop_assert!(cdf.fraction_at_most(v) + 1e-9 >= q);
+    }
+
+    #[test]
+    fn mean_between_min_and_max(points in arb_points()) {
+        let cdf = WeightedCdf::from_points(points);
+        prop_assert!(cdf.mean() >= cdf.quantile(0.0) - 1e-9);
+        prop_assert!(cdf.mean() <= cdf.quantile(1.0) + 1e-9);
+    }
+
+    #[test]
+    fn amortization_conserves_total_queries(
+        entries in proptest::collection::vec((0.0f64..1e6, 1.0f64..1e5), 1..40)
+    ) {
+        let joined = JoinedData {
+            entries: entries
+                .iter()
+                .enumerate()
+                .map(|(i, (q, u))| JoinedEntry {
+                    key: JoinKey::As(topology::Asn(i as u32)),
+                    users: *u,
+                    queries_per_day: *q,
+                })
+                .collect(),
+            stats: JoinStats::default(),
+        };
+        let cdf = queries_per_user_cdf(&joined);
+        // Σ (q/u)·u over the CDF's points equals Σ q.
+        let total_queries: f64 = entries.iter().map(|(q, _)| q).sum();
+        let reconstructed = cdf.mean() * cdf.total_weight();
+        prop_assert!(
+            (reconstructed - total_queries).abs() <= 1e-6 * total_queries.max(1.0),
+            "{reconstructed} vs {total_queries}"
+        );
+    }
+}

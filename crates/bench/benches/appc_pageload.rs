@@ -1,0 +1,21 @@
+//! Bench: regenerate appc — see the experiment registry for the
+//! paper artifacts each id maps to.
+
+use anycast_bench::bench_world;
+use anycast_core::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let world = bench_world();
+    for id in ["appc", ] {
+        for artifact in experiments::run(id, &world) {
+            println!("{}", artifact.render_text());
+        }
+    }
+    c.bench_function("appc_pageload", |b| {
+        b.iter(|| criterion::black_box(experiments::run("appc", &world)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench: the four extension studies (unicast comparison, local sites,
+//! DDoS cascade, traffic engineering).
+
+use anycast_bench::bench_world;
+use anycast_core::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let world = bench_world();
+    for id in ["extunicast", "extlocals", "extddos", "extte"] {
+        for artifact in experiments::run(id, &world) {
+            println!("{}", artifact.render_text());
+        }
+    }
+    let mut group = c.benchmark_group("extension_studies");
+    group.sample_size(10);
+    group.bench_function("extddos", |b| {
+        b.iter(|| criterion::black_box(experiments::run("extddos", &world)))
+    });
+    group.bench_function("extte", |b| {
+        b.iter(|| criterion::black_box(experiments::run("extte", &world)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

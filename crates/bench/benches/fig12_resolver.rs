@@ -1,0 +1,24 @@
+//! Bench: regenerate Figs. 12–13 and Table 5 (the local resolver
+//! perspective) — dominated by the event-level cache simulation.
+
+use anycast_bench::bench_world;
+use anycast_core::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let world = bench_world();
+    for id in ["fig12", "tab5"] {
+        for artifact in experiments::run(id, &world) {
+            println!("{}", artifact.render_text());
+        }
+    }
+    let mut group = c.benchmark_group("fig12_resolver");
+    group.sample_size(10);
+    group.bench_function("fig12_resolver", |b| {
+        b.iter(|| criterion::black_box(experiments::run("tab5", &world)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

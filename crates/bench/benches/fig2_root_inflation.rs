@@ -1,0 +1,22 @@
+//! Bench: regenerate Fig. 2 (root geographic + latency inflation).
+//!
+//! Also prints the reproduced series so `cargo bench` output doubles as
+//! a results log.
+
+use anycast_bench::bench_world;
+use anycast_core::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let world = bench_world();
+    // Print once so bench logs carry the reproduced figure.
+    for artifact in experiments::run("fig2", &world) {
+        println!("{}", artifact.render_text());
+    }
+    c.bench_function("fig2_root_inflation", |b| {
+        b.iter(|| criterion::black_box(experiments::run("fig2", &world)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench: regenerate fig4 — see the experiment registry for the
+//! paper artifacts each id maps to.
+
+use anycast_bench::bench_world;
+use anycast_core::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let world = bench_world();
+    for id in ["fig4", ] {
+        for artifact in experiments::run(id, &world) {
+            println!("{}", artifact.render_text());
+        }
+    }
+    c.bench_function("fig4_cdn_latency", |b| {
+        b.iter(|| criterion::black_box(experiments::run("fig4", &world)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench: regenerate fig6 — see the experiment registry for the
+//! paper artifacts each id maps to.
+
+use anycast_bench::bench_world;
+use anycast_core::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let world = bench_world();
+    for id in ["fig6", ] {
+        for artifact in experiments::run(id, &world) {
+            println!("{}", artifact.render_text());
+        }
+    }
+    c.bench_function("fig6_as_paths", |b| {
+        b.iter(|| criterion::black_box(experiments::run("fig6", &world)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

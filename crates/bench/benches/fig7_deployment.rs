@@ -1,0 +1,26 @@
+//! Bench: regenerate Fig. 7 (latency/efficiency vs deployment size,
+//! coverage radii) and Fig. 11's 2020-census rerun of Fig. 2a.
+
+use anycast_bench::bench_world;
+use anycast_core::experiments;
+use anycast_core::{World, WorldConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let world = bench_world();
+    for artifact in experiments::run("fig7", &world) {
+        println!("{}", artifact.render_text());
+    }
+    // The 2020 evolution (Fig. 11) prints once; benching it would mostly
+    // measure world construction.
+    let w2020 = World::build(&WorldConfig { year: 2020, ..world.config.clone() });
+    for artifact in experiments::run("fig2", &w2020) {
+        println!("(2020 census) {}", artifact.render_text());
+    }
+    c.bench_function("fig7_deployment", |b| {
+        b.iter(|| criterion::black_box(experiments::run("fig7", &world)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

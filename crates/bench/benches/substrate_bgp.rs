@@ -1,0 +1,47 @@
+//! Substrate bench: raw BGP route computation and anycast catchment
+//! assignment over the synthetic Internet — the hot loops everything
+//! else stands on.
+
+use anycast_context::topology::bgp::ExportScope;
+use anycast_context::topology::{Catchment, RouteCache, RouteComputer};
+use anycast_bench::bench_world;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let world = bench_world();
+    let graph = &world.internet.graph;
+    let origin = world.cdn.asn;
+
+    c.bench_function("bgp_routes_from_origin", |b| {
+        b.iter(|| {
+            criterion::black_box(RouteComputer::new(graph).routes_from_origin(
+                origin,
+                ExportScope::Global,
+                &[],
+            ))
+        })
+    });
+
+    let ring = world.cdn.largest_ring();
+    c.bench_function("catchment_compute", |b| {
+        b.iter(|| {
+            let mut cache = RouteCache::new();
+            criterion::black_box(Catchment::compute(graph, &ring.deployment, &mut cache))
+        })
+    });
+
+    let mut cache = RouteCache::new();
+    let catchment = Catchment::compute(graph, &ring.deployment, &mut cache);
+    let locations = world.internet.user_locations();
+    c.bench_function("catchment_assign_all_locations", |b| {
+        b.iter(|| {
+            for loc in &locations {
+                let p = world.internet.world.region(loc.region).center;
+                criterion::black_box(catchment.assign(loc.asn, &p));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Shared setup for the benchmark harness.
+//!
+//! Every bench regenerates one of the paper's tables or figures over a
+//! pre-built world; building the world happens here, outside the timed
+//! region, at a scale chosen so a bench iteration is meaningful but
+//! quick.
+
+use anycast_core::{World, WorldConfig};
+
+/// Scale used by figure benches.
+pub const BENCH_SCALE: f64 = 0.2;
+
+/// Builds the standard bench world (deterministic).
+pub fn bench_world() -> World {
+    World::build(&WorldConfig {
+        scale: BENCH_SCALE,
+        atlas_probes: 150,
+        log_samples: 7,
+        client_samples: 5,
+        ..WorldConfig::paper(2021)
+    })
+}
+
+/// Builds a bench world with a specific CDN peering probability
+/// (ablation benches sweep this).
+pub fn bench_world_with_peering(peering: f64) -> World {
+    World::build(&WorldConfig {
+        scale: BENCH_SCALE,
+        atlas_probes: 150,
+        log_samples: 7,
+        client_samples: 5,
+        cdn_eyeball_peering: peering,
+        ..WorldConfig::paper(2021)
+    })
+}

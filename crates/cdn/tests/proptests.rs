@@ -1,0 +1,48 @@
+//! Property tests for the CDN: ring nesting and page-load study bounds.
+
+use anycast_cdn::pageload::PageLoadStudy;
+use anycast_cdn::rings::{Cdn, CdnConfig};
+use proptest::prelude::*;
+use topology::{InternetGenerator, TopologyConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn rings_are_always_nested_prefixes(seed in 0u64..200, scale in 0.1f64..0.4) {
+        let mut net = InternetGenerator::generate(&TopologyConfig::small(seed));
+        let cdn = Cdn::build(&mut net, &CdnConfig { scale, ..CdnConfig::default() });
+        for w in cdn.rings.windows(2) {
+            prop_assert!(w[0].size <= w[1].size);
+            for (a, b) in w[0].deployment.sites.iter().zip(&w[1].deployment.sites) {
+                prop_assert_eq!(a.id, b.id);
+                prop_assert!(a.location.distance_km(&b.location) < 1e-9);
+            }
+        }
+        // Every ring originates from the same AS (same PoP, same peering).
+        for ring in &cdn.rings {
+            for site in &ring.deployment.sites {
+                prop_assert_eq!(site.host, cdn.asn);
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn page_load_study_bounds_hold(pages in 1usize..12, loads in 1usize..25, seed in 0u64..500) {
+        let study = PageLoadStudy::run(pages, loads, seed);
+        prop_assert_eq!(study.rtt_counts.len(), pages * loads);
+        // Slow start + 2 handshakes: nothing completes under 3 RTTs.
+        prop_assert!(*study.rtt_counts.first().expect("non-empty") >= 3);
+        // fraction_within is a CDF.
+        let mut prev = 0.0;
+        for n in 1..40 {
+            let f = study.fraction_within(n);
+            prop_assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+        let lb = study.lower_bound_estimate();
+        prop_assert!((1..=40).contains(&lb));
+    }
+}

@@ -1,0 +1,91 @@
+//! Reproduction driver: regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--seed N] [--scale F] [--year 2018|2020] [--out DIR] [ids…|all]
+//! ```
+//!
+//! Each artifact prints to stdout and, with `--out`, is also written as
+//! CSV for plotting.
+
+use anycast_core::experiments::{run, ALL_IDS};
+use anycast_core::{World, WorldConfig};
+use std::io::Write;
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut seed = 2021u64;
+    let mut scale = 0.5f64;
+    let mut year = 2018u16;
+    let mut out_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a float in (0,1]"))
+            }
+            "--out" => {
+                out_dir = Some(args.next().unwrap_or_else(|| die("--out needs a directory")))
+            }
+            "--year" => {
+                year = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|y| *y == 2018 || *y == 2020)
+                    .unwrap_or_else(|| die("--year must be 2018 or 2020"))
+            }
+            "--help" | "-h" => {
+                println!("repro [--seed N] [--scale F] [--year 2018|2020] [--out DIR] [ids…|all]");
+                println!("ids: {}", ALL_IDS.join(" "));
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !ALL_IDS.contains(&id.as_str()) {
+            die(&format!("unknown experiment {id:?}; known: {}", ALL_IDS.join(" ")));
+        }
+    }
+
+    let config = WorldConfig { seed, scale, year, ..WorldConfig::paper(seed) };
+    eprintln!("building world (seed={seed}, scale={scale}, year={year}) …");
+    let t0 = std::time::Instant::now();
+    let world = World::build(&config);
+    eprintln!("world ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+    for id in &ids {
+        let t = std::time::Instant::now();
+        let artifacts = run(id, &world);
+        for artifact in &artifacts {
+            println!("{}", artifact.render_text());
+            if let Some(dir) = &out_dir {
+                let path = format!("{dir}/{}.csv", artifact.id());
+                let mut f = std::fs::File::create(&path).expect("create CSV");
+                f.write_all(artifact.render_csv().as_bytes()).expect("write CSV");
+            }
+        }
+        eprintln!("[{id}] done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

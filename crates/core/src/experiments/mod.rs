@@ -1,0 +1,56 @@
+//! Experiment registry: every table and figure, by id.
+
+pub mod cdn_exp;
+pub mod extensions;
+pub mod local;
+pub mod paths_exp;
+pub mod roots;
+pub mod tables;
+
+use crate::artifact::Artifact;
+use crate::world::World;
+
+/// All experiment ids, in paper order.
+pub const ALL_IDS: [&str; 23] = [
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab1", "tab2", "tab4", "tab5", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "appc", "fig14", "extunicast", "extlocals", "extddos",
+    "extte", "exttld", "extinfer",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on unknown ids (the CLI validates first).
+pub fn run(id: &str, world: &World) -> Vec<Artifact> {
+    match id {
+        "fig2" => roots::fig2(world),
+        "fig3" => roots::fig3(world),
+        "fig4" => {
+            let mut a = cdn_exp::fig4a(world);
+            a.extend(cdn_exp::fig4b(world));
+            a
+        }
+        "fig5" => cdn_exp::fig5(world),
+        "fig6" => paths_exp::fig6(world),
+        "fig7" => paths_exp::fig7(world),
+        "tab1" => tables::tab1(world),
+        "tab2" => tables::tab23(world),
+        "tab4" => roots::tab4(world),
+        "tab5" => local::tab5(world),
+        "fig8" => roots::fig8(world),
+        "fig9" => roots::fig9(world),
+        "fig10" => roots::fig10(world),
+        "fig11" => roots::fig11(world),
+        "fig12" => local::fig12_13(world),
+        "appc" => cdn_exp::appc(world),
+        "fig14" => cdn_exp::fig14(world),
+        "extunicast" => extensions::extunicast(world),
+        "extlocals" => extensions::extlocals(world),
+        "extddos" => extensions::extddos(world),
+        "extte" => extensions::extte(world),
+        "exttld" => extensions::exttld(world),
+        "extinfer" => extensions::extinfer(world),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}

@@ -1,0 +1,128 @@
+//! The root-operator survey (Table 1) and the growth it explains.
+//!
+//! §7.3 surveyed the 12 organizations running root letters: 11 responded.
+//! Table 1 tabulates why deployments grew (latency! DDoS resilience! ISP
+//! resilience!) and what operators expect next. The survey itself is
+//! data, reproduced verbatim; [`growth_trajectory`] turns the "more than
+//! doubled from 516 to 1367 over 5 years, steadily increasing" claim into
+//! the site-count series the reproduction's evolution experiments use.
+
+use serde::{Deserialize, Serialize};
+
+/// Reasons operators cited for past growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GrowthReason {
+    /// Reduce latency to users (cited by 8 of 11 — the paper's surprise,
+    /// since §4 shows users barely feel root latency).
+    Latency,
+    /// Capacity against DDoS attacks (9 of 11).
+    DdosResilience,
+    /// Keep serving ASes/regions cut off from the wider Internet (5).
+    IspResilience,
+    /// Open hosting offers, CDN partnerships, and the rest (3).
+    Other,
+}
+
+/// Expected future growth trends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FutureTrend {
+    /// Growth will accelerate (1).
+    Acceleration,
+    /// Growth will slow (4).
+    Deceleration,
+    /// Growth continues at the current rate (4).
+    MaintainRate,
+    /// Declined to share (1).
+    CannotShare,
+}
+
+/// One row of Table 1's left half.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GrowthReasonRow {
+    /// The reason.
+    pub reason: GrowthReason,
+    /// Organizations citing it (multi-select; rows don't sum to 11).
+    pub organizations: u8,
+}
+
+/// One row of Table 1's right half.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FutureTrendRow {
+    /// The trend.
+    pub trend: FutureTrend,
+    /// Organizations predicting it.
+    pub organizations: u8,
+}
+
+/// Table 1, left: reasons for past growth.
+pub const PAST_GROWTH: &[GrowthReasonRow] = &[
+    GrowthReasonRow { reason: GrowthReason::Latency, organizations: 8 },
+    GrowthReasonRow { reason: GrowthReason::DdosResilience, organizations: 9 },
+    GrowthReasonRow { reason: GrowthReason::IspResilience, organizations: 5 },
+    GrowthReasonRow { reason: GrowthReason::Other, organizations: 3 },
+];
+
+/// Table 1, right: expected future trends.
+pub const FUTURE_TRENDS: &[FutureTrendRow] = &[
+    FutureTrendRow { trend: FutureTrend::Acceleration, organizations: 1 },
+    FutureTrendRow { trend: FutureTrend::Deceleration, organizations: 4 },
+    FutureTrendRow { trend: FutureTrend::MaintainRate, organizations: 4 },
+    FutureTrendRow { trend: FutureTrend::CannotShare, organizations: 1 },
+];
+
+/// Organizations that run a letter (12) and that responded (11).
+pub const ORGS_TOTAL: u8 = 12;
+/// Survey respondents.
+pub const ORGS_RESPONDED: u8 = 11;
+
+/// Total root site counts over the five years before the paper: "the
+/// number of root DNS sites has steadily increased to more than double,
+/// from 516 to 1367" (§4.1). Interior years interpolated geometrically —
+/// "steadily increasing".
+pub fn growth_trajectory() -> Vec<(u16, u32)> {
+    let (y0, s0) = (2016u16, 516f64);
+    let (y1, s1) = (2021u16, 1367f64);
+    let years = (y1 - y0) as f64;
+    (0..=(y1 - y0))
+        .map(|dy| {
+            let f = dy as f64 / years;
+            let sites = s0 * (s1 / s0).powf(f);
+            (y0 + dy, sites.round() as u32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        assert_eq!(PAST_GROWTH[0].organizations, 8); // latency
+        assert_eq!(PAST_GROWTH[1].organizations, 9); // DDoS
+        assert_eq!(PAST_GROWTH[2].organizations, 5); // ISP
+        assert_eq!(FUTURE_TRENDS.iter().map(|r| r.organizations).sum::<u8>(), 10);
+        assert_eq!(ORGS_RESPONDED, 11);
+    }
+
+    #[test]
+    fn trajectory_endpoints_match_quoted_counts() {
+        let t = growth_trajectory();
+        assert_eq!(t.first(), Some(&(2016, 516)));
+        assert_eq!(t.last(), Some(&(2021, 1367)));
+    }
+
+    #[test]
+    fn trajectory_is_strictly_increasing() {
+        let t = growth_trajectory();
+        for w in t.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn trajectory_more_than_doubles() {
+        let t = growth_trajectory();
+        assert!(t.last().expect("non-empty").1 > 2 * t.first().expect("non-empty").1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the resolver: TTL discipline and letter-policy
+//! invariants.
+
+use anycast_dns::resolver::{letter_weights, RecursiveResolver, ResolverConfig, UpstreamRtts};
+use anycast_dns::{Letter, QueryName, RootZone};
+use netsim::SimTime;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_rtts() -> impl Strategy<Value = Vec<(Letter, f64)>> {
+    proptest::collection::vec(1.0f64..400.0, 13).prop_map(|v| {
+        Letter::ALL.iter().copied().zip(v).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn letter_weights_form_a_distribution(rtts in arb_rtts(), e in 0.0f64..1.0) {
+        let w = letter_weights(&rtts, e);
+        let total: f64 = w.iter().map(|(_, x)| x).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(w.iter().all(|(_, x)| *x >= 0.0));
+        // The fastest letter always gets the largest share.
+        let best = rtts
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty")
+            .0;
+        let best_w = w.iter().find(|(l, _)| *l == best).expect("present").1;
+        prop_assert!(w.iter().all(|(_, x)| *x <= best_w + 1e-12));
+    }
+
+    #[test]
+    fn cache_never_serves_expired_tld_records(seed in 0u64..200, gap_hours in 49.0f64..400.0) {
+        // Two queries for names under the same TLD, separated by more
+        // than the 2-day TTL: the second MUST re-query a root.
+        let zone = RootZone::generate(1, 50);
+        let mut r = RecursiveResolver::new(
+            ResolverConfig { auth_timeout_prob: 0.0, ..Default::default() },
+            UpstreamRtts::uniform(50.0, 10.0, 10.0),
+            StdRng::seed_from_u64(seed),
+        );
+        let first = r.resolve(SimTime::ZERO, &QueryName::valid_host("a", "com"), &zone);
+        prop_assert!(first.root_wait_ms > 0.0);
+        let second = r.resolve(
+            SimTime::from_hours(gap_hours),
+            &QueryName::valid_host("b", "com"),
+            &zone,
+        );
+        prop_assert!(second.root_wait_ms > 0.0, "expired record served from cache");
+    }
+
+    #[test]
+    fn cache_always_serves_fresh_tld_records(seed in 0u64..200, gap_hours in 13.0f64..47.0) {
+        // Within the TTL (and past any answer-cache TTL, which tops out
+        // at 6 h), a *different* name under the same TLD must not wait on
+        // a root.
+        let zone = RootZone::generate(1, 50);
+        let mut r = RecursiveResolver::new(
+            ResolverConfig { auth_timeout_prob: 0.0, ..Default::default() },
+            UpstreamRtts::uniform(50.0, 10.0, 10.0),
+            StdRng::seed_from_u64(seed),
+        );
+        r.resolve(SimTime::ZERO, &QueryName::valid_host("a", "com"), &zone);
+        let second = r.resolve(
+            SimTime::from_hours(gap_hours),
+            &QueryName::valid_host("b", "com"),
+            &zone,
+        );
+        prop_assert_eq!(second.root_wait_ms, 0.0);
+    }
+
+    #[test]
+    fn resolution_latency_decomposes(seed in 0u64..200) {
+        let zone = RootZone::generate(1, 50);
+        let mut r = RecursiveResolver::new(
+            ResolverConfig::default(),
+            UpstreamRtts::uniform(60.0, 15.0, 25.0),
+            StdRng::seed_from_u64(seed),
+        );
+        for i in 0..50u32 {
+            let q = QueryName::valid_host(format!("h{i}"), "net");
+            let res = r.resolve(SimTime::from_secs(i as f64 * 100.0), &q, &zone);
+            prop_assert!(res.user_latency_ms >= res.root_wait_ms);
+            prop_assert!(res.root_wait_ms >= 0.0);
+        }
+    }
+}

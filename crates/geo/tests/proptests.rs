@@ -1,0 +1,69 @@
+//! Property tests for spherical geometry: metric axioms and constructive
+//! geometry invariants that every distance-based analysis depends on.
+
+use anycast_geo::coord::EARTH_RADIUS_KM;
+use anycast_geo::GeoPoint;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-90.0f64..90.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric(a in arb_point(), b in arb_point()) {
+        let d1 = a.distance_km(&b);
+        let d2 = b.distance_km(&a);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distance_is_nonnegative_and_bounded(a in arb_point(), b in arb_point()) {
+        let d = a.distance_km(&b);
+        prop_assert!(d >= 0.0);
+        // No two points are farther apart than half the circumference.
+        prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1.0);
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        // Great-circle distance is a metric on the sphere.
+        prop_assert!(a.distance_km(&c) <= a.distance_km(&b) + b.distance_km(&c) + 1e-6);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles(a in arb_point()) {
+        prop_assert!(a.distance_km(&a) < 1e-9);
+    }
+
+    #[test]
+    fn intermediate_stays_on_segment(a in arb_point(), b in arb_point(), f in 0.0f64..1.0) {
+        let m = a.intermediate(&b, f);
+        let total = a.distance_km(&b);
+        // The waypoint's two legs sum to the whole (within FP noise),
+        // unless the endpoints are (nearly) antipodal, where the
+        // construction legitimately degenerates.
+        if total < 0.99 * std::f64::consts::PI * EARTH_RADIUS_KM {
+            let via = a.distance_km(&m) + m.distance_km(&b);
+            prop_assert!((via - total).abs() < 1.0, "via {via} vs {total}");
+        }
+    }
+
+    #[test]
+    fn centroid_lies_within_max_distance(a in arb_point(), b in arb_point(),
+                                         wa in 0.1f64..10.0, wb in 0.1f64..10.0) {
+        let c = GeoPoint::centroid(&[(a, wa), (b, wb)]).expect("non-empty");
+        let d = a.distance_km(&b);
+        prop_assert!(c.distance_km(&a) <= d + 1.0);
+        prop_assert!(c.distance_km(&b) <= d + 1.0);
+    }
+
+    #[test]
+    fn constructor_normalizes_any_longitude(lat in -90.0f64..90.0, lon in -1e4f64..1e4) {
+        let p = GeoPoint::new(lat, lon);
+        prop_assert!((-180.0..=180.0).contains(&p.lon()));
+        // Normalization preserves the physical point.
+        let q = GeoPoint::new(lat, lon + 360.0);
+        prop_assert!(p.distance_km(&q) < 1e-6);
+    }
+}

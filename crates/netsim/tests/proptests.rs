@@ -1,0 +1,65 @@
+//! Property tests for the TCP model and latency model.
+
+use anycast_netsim::latency::{LastMile, LatencyModel, PathProfile};
+use anycast_netsim::tcp::{page_load_rtts, transfer_rtts, ConnectionPlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn transfer_rtts_monotone_in_bytes(a in 1u64..10_000_000, b in 1u64..10_000_000,
+                                       w in 1_000u64..100_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(transfer_rtts(lo, w) <= transfer_rtts(hi, w));
+    }
+
+    #[test]
+    fn transfer_rtts_antitone_in_window(bytes in 1u64..10_000_000,
+                                        w1 in 1_000u64..100_000, w2 in 1_000u64..100_000) {
+        let (small, big) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        prop_assert!(transfer_rtts(bytes, big) <= transfer_rtts(bytes, small));
+    }
+
+    #[test]
+    fn page_load_at_least_biggest_connection(
+        conns in proptest::collection::vec(
+            (0.0f64..1000.0, 1.0f64..1000.0, 1u64..5_000_000),
+            1..12,
+        )
+    ) {
+        let plans: Vec<ConnectionPlan> = conns
+            .iter()
+            .map(|(s, d, bytes)| ConnectionPlan { start_ms: *s, end_ms: s + d, bytes: *bytes })
+            .collect();
+        let total = page_load_rtts(&plans, 15_000);
+        let biggest = plans.iter().map(|c| c.bytes).max().expect("non-empty");
+        // ≥ the largest transfer + the 2 handshake RTTs.
+        prop_assert!(total >= transfer_rtts(biggest, 15_000) + 2);
+        // ≤ everything sequential (no overlap credit at all).
+        let upper: u32 = plans.iter().map(|c| transfer_rtts(c.bytes, 15_000)).sum::<u32>() + 2;
+        prop_assert!(total <= upper);
+    }
+
+    #[test]
+    fn rtt_samples_positive_and_median_deterministic(
+        km in 0.0f64..20_000.0, hops in 0u32..20, seed in 0u64..1000,
+    ) {
+        let m = LatencyModel::default();
+        let p = PathProfile::direct(km, hops, LastMile::Broadband);
+        prop_assert!(m.median_rtt_ms(&p) >= 0.0);
+        prop_assert!((m.median_rtt_ms(&p) - m.median_rtt_ms(&p)).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng as _;
+        let _ = rng.gen::<u64>();
+        prop_assert!(m.sample_rtt_ms(&p, &mut rng) > 0.0);
+    }
+
+    #[test]
+    fn longer_paths_have_larger_median(km in 0.0f64..10_000.0, extra in 1.0f64..5_000.0) {
+        let m = LatencyModel::default();
+        let short = m.median_rtt_ms(&PathProfile::direct(km, 3, LastMile::None));
+        let long = m.median_rtt_ms(&PathProfile::direct(km + extra, 3, LastMile::None));
+        prop_assert!(long > short);
+    }
+}

@@ -1,0 +1,589 @@
+//! Anycast deployments and catchment computation.
+//!
+//! An [`AnycastDeployment`] is a set of [`AnycastSite`]s announcing one
+//! shared prefix — a root letter (sites scattered across many host ASes)
+//! or a CDN ring (sites inside one content AS, collocated with its
+//! peering PoPs). [`Catchment`] computes, for any traffic source, which
+//! site BGP delivers it to and along which geographic path.
+//!
+//! The decision process mirrors §7.1: local preference, then AS-path
+//! length — both geography-blind — and only then the early-exit IGP
+//! tie-break, which is the *only* place geography enters. That asymmetry
+//! is what makes root-letter routing inflated (ties break on topology)
+//! while a densely-peered CDN stays flat (the 2-AS direct route wins and
+//! its early exit lands at a front-end).
+//!
+//! Per-origin route computations are memoized in a [`RouteCache`] because
+//! hoster ASes routinely host sites for several letters.
+
+use crate::asn::Asn;
+use crate::bgp::{ExportScope, OriginRoutes, RouteClass, RouteComputer};
+use crate::graph::AsGraph;
+use crate::waypoints;
+use geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Identifier of a site within one deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "site-{}", self.0)
+    }
+}
+
+/// Whether a site's announcement is globally visible or NO_EXPORT-scoped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteScope {
+    /// Globally reachable site.
+    Global,
+    /// Local site: only the host AS's direct neighbors learn the route
+    /// (§2.1 — "local sites serve small geographic areas or certain ASes").
+    Local,
+}
+
+/// One anycast site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnycastSite {
+    /// Identifier, unique within the deployment.
+    pub id: SiteId,
+    /// Human-readable name.
+    pub name: String,
+    /// AS originating this site's announcement.
+    pub host: Asn,
+    /// Physical location of the site.
+    pub location: GeoPoint,
+    /// Announcement scope.
+    pub scope: SiteScope,
+}
+
+/// A set of sites announcing one anycast prefix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnycastDeployment {
+    /// Deployment name (e.g. `"C-root"`, `"R95"`).
+    pub name: String,
+    /// The sites.
+    pub sites: Vec<AnycastSite>,
+    /// Neighbor ASes each host AS withholds the announcement from —
+    /// selective-announcement traffic engineering (§7.1).
+    pub withhold: Vec<Asn>,
+    /// The service's own origin AS, if it has one (root letters do; CDN
+    /// rings originate from the CDN AS directly). When set, AS paths
+    /// through upstream *hosts* gain this final hop, and — if the origin
+    /// AS has its own adjacencies (IXP peering) — it also announces all
+    /// sites directly.
+    pub origin_as: Option<Asn>,
+    /// Hosts that announce the prefix as their own origin (e.g. a CDN
+    /// partner announcing a root letter's prefix from its
+    /// infrastructure): no origin-AS hop is appended behind these.
+    pub direct_hosts: Vec<Asn>,
+}
+
+impl AnycastDeployment {
+    /// Creates a deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or if site ids are not dense `0..n` (catchment
+    /// bookkeeping indexes by site id).
+    pub fn new(name: impl Into<String>, sites: Vec<AnycastSite>, withhold: Vec<Asn>) -> Self {
+        assert!(!sites.is_empty(), "deployment with no sites");
+        for (i, s) in sites.iter().enumerate() {
+            assert_eq!(s.id.0 as usize, i, "site ids must be dense");
+        }
+        Self { name: name.into(), sites, withhold, origin_as: None, direct_hosts: vec![] }
+    }
+
+    /// Declares the deployment's own origin AS (see
+    /// [`AnycastDeployment::origin_as`]).
+    pub fn with_origin(mut self, origin_as: Asn, direct_hosts: Vec<Asn>) -> Self {
+        self.origin_as = Some(origin_as);
+        self.direct_hosts = direct_hosts;
+        self
+    }
+
+    /// Sites with global scope — the set Eq. 1/2 minimize over ("we only
+    /// consider global sites, since we do not know which recursives can
+    /// reach local sites").
+    pub fn global_sites(&self) -> impl Iterator<Item = &AnycastSite> {
+        self.sites.iter().filter(|s| s.scope == SiteScope::Global)
+    }
+
+    /// Number of global sites (the counts in Fig. 2's legend).
+    pub fn global_site_count(&self) -> usize {
+        self.global_sites().count()
+    }
+
+    /// Total site count, global and local (the `T` counts of Fig. 10).
+    pub fn total_site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Site lookup.
+    pub fn site(&self, id: SiteId) -> &AnycastSite {
+        &self.sites[id.0 as usize]
+    }
+
+    /// Distance from `loc` to the nearest *global* site, in km — the
+    /// minuend of Eq. 1 and the "coverage" measure of Fig. 7b.
+    pub fn nearest_global_site_km(&self, loc: &GeoPoint) -> f64 {
+        self.global_sites()
+            .map(|s| s.location.distance_km(loc))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Where one source's traffic to the deployment lands.
+#[derive(Debug, Clone)]
+pub struct SiteAssignment {
+    /// The selected site.
+    pub site: SiteId,
+    /// Local-preference class of the selected route at the source.
+    pub class: RouteClass,
+    /// AS path, source first, announcement origin last.
+    pub as_path: Vec<Asn>,
+    /// Geographic waypoints from the user to the site.
+    pub waypoints: Vec<GeoPoint>,
+    /// Total great-circle length of `waypoints` in km.
+    pub path_km: f64,
+}
+
+impl SiteAssignment {
+    /// Number of ASes on the path (Fig. 6a's x-axis before org merging).
+    pub fn as_path_len(&self) -> usize {
+        self.as_path.len()
+    }
+}
+
+/// Memoizes per-origin BGP computations across deployments.
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    map: HashMap<(Asn, ExportScope, Vec<Asn>), Rc<OriginRoutes>>,
+}
+
+impl RouteCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get(
+        &mut self,
+        graph: &AsGraph,
+        origin: Asn,
+        scope: ExportScope,
+        withhold: &[Asn],
+    ) -> Rc<OriginRoutes> {
+        let key = (origin, scope, withhold.to_vec());
+        if let Some(r) = self.map.get(&key) {
+            return Rc::clone(r);
+        }
+        let routes =
+            Rc::new(RouteComputer::new(graph).routes_from_origin(origin, scope, withhold));
+        self.map.insert(key, Rc::clone(&routes));
+        routes
+    }
+
+    /// Number of memoized origin computations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Per-origin state inside a catchment: the routes toward one host AS and
+/// the deployment sites that AS hosts (split by scope).
+#[derive(Debug, Clone)]
+struct OriginGroup {
+    host: Asn,
+    routes: Rc<OriginRoutes>,
+    /// Sites announced by this origin under this scope.
+    sites: Vec<SiteId>,
+}
+
+/// Computed catchments of one deployment over one graph.
+#[derive(Debug)]
+pub struct Catchment<'g> {
+    graph: &'g AsGraph,
+    deployment: AnycastDeployment,
+    groups: Vec<OriginGroup>,
+}
+
+impl<'g> Catchment<'g> {
+    /// Computes catchments for `deployment`, memoizing origin routes in
+    /// `cache`.
+    pub fn compute(
+        graph: &'g AsGraph,
+        deployment: &AnycastDeployment,
+        cache: &mut RouteCache,
+    ) -> Self {
+        // Group sites by (host, scope): one BGP computation per group.
+        let mut grouped: HashMap<(Asn, ExportScope), Vec<SiteId>> = HashMap::new();
+        for site in &deployment.sites {
+            let scope = match site.scope {
+                SiteScope::Global => ExportScope::Global,
+                SiteScope::Local => ExportScope::Local,
+            };
+            grouped.entry((site.host, scope)).or_default().push(site.id);
+        }
+        let mut keys: Vec<_> = grouped.keys().copied().collect();
+        keys.sort_by_key(|(a, s)| (*a, matches!(s, ExportScope::Local)));
+        let mut groups: Vec<OriginGroup> = keys
+            .into_iter()
+            .map(|(host, scope)| OriginGroup {
+                host,
+                routes: cache.get(graph, host, scope, &deployment.withhold),
+                sites: grouped[&(host, scope)].clone(),
+            })
+            .collect();
+        // The origin AS itself announces every site over its own
+        // adjacencies (IXP peering sessions), when it exists in the graph
+        // and isn't already a host.
+        if let Some(origin) = deployment.origin_as {
+            if graph.get(origin).is_some() && !groups.iter().any(|g| g.host == origin) {
+                groups.push(OriginGroup {
+                    host: origin,
+                    routes: cache.get(graph, origin, ExportScope::Global, &deployment.withhold),
+                    sites: deployment.sites.iter().map(|s| s.id).collect(),
+                });
+            }
+        }
+        Self { graph, deployment: deployment.clone(), groups }
+    }
+
+    /// The deployment this catchment was computed for.
+    pub fn deployment(&self) -> &AnycastDeployment {
+        &self.deployment
+    }
+
+    /// The site BGP selects for traffic from AS `src` at `user_loc`, or
+    /// `None` if the source cannot reach any site.
+    pub fn assign(&self, src: Asn, user_loc: &GeoPoint) -> Option<SiteAssignment> {
+        self.ranked_top(src, user_loc, 1).into_iter().next()
+    }
+
+    /// All reachable candidates for traffic from `src` at `user_loc`,
+    /// ranked by the BGP decision process (best first). Entry 0 is the
+    /// steady-state choice; callers model transient load-balancing across
+    /// intermediate ASes (Appendix B.2) by occasionally taking entry 1.
+    pub fn ranked(&self, src: Asn, user_loc: &GeoPoint) -> Vec<SiteAssignment> {
+        self.ranked_top(src, user_loc, usize::MAX)
+    }
+
+    /// Like [`Catchment::ranked`] but materializes at most `k` candidates
+    /// (path reconstruction and waypoint resolution are the expensive
+    /// part; campaign generators only need the top one or two).
+    pub fn ranked_top(&self, src: Asn, user_loc: &GeoPoint, k: usize) -> Vec<SiteAssignment> {
+        let src_idx = self.graph.idx(src);
+        let serving = self.graph.serving_pop(src, user_loc);
+
+        struct Cand<'a> {
+            group: &'a OriginGroup,
+            class: RouteClass,
+            len: u32,
+            /// Early-exit cost: km from serving PoP to the chosen
+            /// first-hop interconnect (0 when src *is* the origin).
+            exit_km: f64,
+            first: Option<crate::bgp::FirstHop>,
+        }
+
+        let mut cands: Vec<Cand<'_>> = Vec::new();
+        for group in &self.groups {
+            let Some(route) = group.routes.route_at(src_idx) else {
+                continue;
+            };
+            if route.class == RouteClass::Origin {
+                cands.push(Cand { group, class: route.class, len: route.path_len, exit_km: 0.0, first: None });
+                continue;
+            }
+            // Early-exit: among equally-best first hops, the source picks
+            // the one whose interconnect is nearest its serving PoP.
+            let best = route
+                .first_hops
+                .iter()
+                .map(|fh| {
+                    let x = self.graph.nearest_interconnect(fh.link, &serving);
+                    (serving.distance_km(&x), *fh)
+                })
+                .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            if let Some((exit_km, fh)) = best {
+                cands.push(Cand { group, class: route.class, len: route.path_len, exit_km, first: Some(fh) });
+            }
+        }
+        // BGP decision: class desc, then path length asc, then early-exit
+        // distance asc, then host ASN for stability.
+        cands.sort_by(|a, b| {
+            b.class
+                .cmp(&a.class)
+                .then(a.len.cmp(&b.len))
+                .then(a.exit_km.partial_cmp(&b.exit_km).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.group.host.cmp(&b.group.host))
+        });
+
+        cands
+            .into_iter()
+            .take(k)
+            .filter_map(|c| self.materialize(src_idx, user_loc, &serving, c.group, c.first))
+            .collect()
+    }
+
+    /// Builds the full assignment for one candidate group: reconstruct the
+    /// AS path, pick the intra-origin site nearest the entry point (the
+    /// host's internal anycast/early-exit — for a CDN this is "ingress PoP
+    /// to nearest front-end in the ring"), and resolve waypoints.
+    fn materialize(
+        &self,
+        src_idx: usize,
+        user_loc: &GeoPoint,
+        serving: &GeoPoint,
+        group: &OriginGroup,
+        first: Option<crate::bgp::FirstHop>,
+    ) -> Option<SiteAssignment> {
+        let (nodes, links) = match first {
+            Some(fh) => group.routes.path_via(src_idx, fh)?,
+            None => (vec![src_idx], vec![]), // src is the origin
+        };
+        // Entry point into the origin AS: the last interconnect crossed,
+        // or the user's serving PoP when the user sits inside the origin.
+        let mut entry = *serving;
+        let mut cur = *serving;
+        for &link in &links {
+            cur = self.graph.nearest_interconnect(link, &cur);
+            entry = cur;
+        }
+        // Intra-origin site selection: nearest hosted site to the entry.
+        let site_id = group
+            .sites
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                let da = self.deployment.site(*a).location.distance_km(&entry);
+                let db = self.deployment.site(*b).location.distance_km(&entry);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+            })
+            .expect("groups are non-empty");
+        let site_loc = self.deployment.site(site_id).location;
+        let wp = waypoints::resolve(self.graph, &nodes, &links, user_loc, &site_loc);
+        let path_km = waypoints::length_km(&wp);
+        let mut as_path: Vec<Asn> =
+            nodes.iter().map(|&i| self.graph.node_at(i).asn).collect();
+        // Upstream hosts hand off to the service's own AS at the site.
+        if let Some(origin) = self.deployment.origin_as {
+            let last = *as_path.last().expect("paths are non-empty");
+            if last != origin && !self.deployment.direct_hosts.contains(&last) {
+                as_path.push(origin);
+            }
+        }
+        let class = match first {
+            None => RouteClass::Origin,
+            Some(_) => group.routes.route_at(src_idx).expect("had route").class,
+        };
+        Some(SiteAssignment { site: site_id, class, as_path, waypoints: wp, path_km })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asn::{AsKind, OrgId};
+    use crate::graph::AsNode;
+
+    fn node(asn: u32, kind: AsKind, pops: Vec<GeoPoint>) -> AsNode {
+        AsNode {
+            asn: Asn(asn),
+            kind,
+            org: OrgId(asn),
+            name: format!("as{asn}"),
+            pops,
+            prefixes: vec![],
+        }
+    }
+
+    fn p(lon: f64) -> GeoPoint {
+        GeoPoint::new(0.0, lon)
+    }
+
+    fn site(id: u32, host: u32, lon: f64, scope: SiteScope) -> AnycastSite {
+        AnycastSite {
+            id: SiteId(id),
+            name: format!("site{id}"),
+            host: Asn(host),
+            location: p(lon),
+            scope,
+        }
+    }
+
+    /// Eyeball E (AS1, lon 0) has two providers: H1 (AS10) hosting site A
+    /// at lon 10 via a 2-AS path, and a chain H2 (AS20→AS21) hosting site
+    /// B at lon 1 (geographically much closer) via a 3-AS path. BGP must
+    /// pick the *shorter AS path* to the far site — textbook inflation.
+    fn inflation_world() -> (AsGraph, AnycastDeployment) {
+        let mut g = AsGraph::new();
+        g.add_as(node(1, AsKind::Eyeball, vec![p(0.0)]));
+        g.add_as(node(10, AsKind::Hoster, vec![p(10.0)]));
+        g.add_as(node(20, AsKind::Transit, vec![p(0.5)]));
+        g.add_as(node(21, AsKind::Hoster, vec![p(1.0)]));
+        g.add_provider_link(Asn(10), Asn(1), vec![p(5.0)]);
+        g.add_provider_link(Asn(20), Asn(1), vec![p(0.2)]);
+        g.add_provider_link(Asn(20), Asn(21), vec![p(0.8)]);
+        let dep = AnycastDeployment::new(
+            "letter",
+            vec![
+                site(0, 10, 10.0, SiteScope::Global),
+                site(1, 21, 1.0, SiteScope::Global),
+            ],
+            vec![],
+        );
+        (g, dep)
+    }
+
+    #[test]
+    fn shorter_as_path_beats_geography() {
+        let (g, dep) = inflation_world();
+        let mut cache = RouteCache::new();
+        let catchment = Catchment::compute(&g, &dep, &mut cache);
+        let a = catchment.assign(Asn(1), &p(0.0)).unwrap();
+        assert_eq!(a.site, SiteId(0), "2-AS path to far site must win");
+        assert_eq!(a.as_path, vec![Asn(1), Asn(10)]);
+        // The user is inflated: nearest global site is 1 degree away but
+        // traffic goes 10 degrees away.
+        let nearest = dep.nearest_global_site_km(&p(0.0));
+        assert!(a.path_km > 2.0 * nearest);
+    }
+
+    #[test]
+    fn ranked_returns_both_candidates_in_order() {
+        let (g, dep) = inflation_world();
+        let mut cache = RouteCache::new();
+        let catchment = Catchment::compute(&g, &dep, &mut cache);
+        let ranked = catchment.ranked(Asn(1), &p(0.0));
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].site, SiteId(0));
+        assert_eq!(ranked[1].site, SiteId(1));
+        assert_eq!(ranked[1].as_path, vec![Asn(1), Asn(20), Asn(21)]);
+    }
+
+    #[test]
+    fn local_site_only_serves_neighbors() {
+        // Site hosted locally at AS10; AS1 (customer of 10) sees it, AS2
+        // (customer of AS20 only) cannot reach it at all.
+        let mut g = AsGraph::new();
+        g.add_as(node(10, AsKind::Hoster, vec![p(0.0)]));
+        g.add_as(node(20, AsKind::Transit, vec![p(5.0)]));
+        g.add_as(node(1, AsKind::Eyeball, vec![p(0.1)]));
+        g.add_as(node(2, AsKind::Eyeball, vec![p(5.1)]));
+        g.add_provider_link(Asn(10), Asn(1), vec![p(0.05)]);
+        g.add_provider_link(Asn(20), Asn(2), vec![p(5.05)]);
+        g.add_peer_link(Asn(10), Asn(20), vec![p(2.5)]);
+        let dep = AnycastDeployment::new(
+            "local-only",
+            vec![site(0, 10, 0.0, SiteScope::Local)],
+            vec![],
+        );
+        let mut cache = RouteCache::new();
+        let c = Catchment::compute(&g, &dep, &mut cache);
+        assert!(c.assign(Asn(1), &p(0.1)).is_some());
+        assert!(
+            c.assign(Asn(2), &p(5.1)).is_none(),
+            "NO_EXPORT announcement must not transit AS20"
+        );
+    }
+
+    #[test]
+    fn single_origin_early_exit_picks_site_near_ingress() {
+        // CDN AS 100 with PoPs at lon 0 and lon 60, front-ends at both.
+        // Eyeball at lon 58 peers with the CDN at lon 60 → lands on the
+        // lon-60 site. Eyeball at lon 2 peers at lon 0 → lon-0 site.
+        let mut g = AsGraph::new();
+        g.add_as(node(100, AsKind::Content, vec![p(0.0), p(60.0)]));
+        g.add_as(node(1, AsKind::Eyeball, vec![p(58.0)]));
+        g.add_as(node(2, AsKind::Eyeball, vec![p(2.0)]));
+        g.add_peer_link(Asn(1), Asn(100), vec![p(60.0), p(0.0)]);
+        g.add_peer_link(Asn(2), Asn(100), vec![p(0.0), p(60.0)]);
+        let dep = AnycastDeployment::new(
+            "ring",
+            vec![
+                site(0, 100, 0.0, SiteScope::Global),
+                site(1, 100, 60.0, SiteScope::Global),
+            ],
+            vec![],
+        );
+        let mut cache = RouteCache::new();
+        let c = Catchment::compute(&g, &dep, &mut cache);
+        assert_eq!(c.assign(Asn(1), &p(58.0)).unwrap().site, SiteId(1));
+        assert_eq!(c.assign(Asn(2), &p(2.0)).unwrap().site, SiteId(0));
+    }
+
+    #[test]
+    fn smaller_ring_routes_ingress_to_remaining_site() {
+        // Same CDN but the "small ring" only has the lon-0 front-end: the
+        // lon-58 eyeball still ingresses at lon 60 (same PoP/peering) and
+        // then rides the WAN to lon 0.
+        let mut g = AsGraph::new();
+        g.add_as(node(100, AsKind::Content, vec![p(0.0), p(60.0)]));
+        g.add_as(node(1, AsKind::Eyeball, vec![p(58.0)]));
+        g.add_peer_link(Asn(1), Asn(100), vec![p(60.0), p(0.0)]);
+        let dep = AnycastDeployment::new(
+            "small-ring",
+            vec![site(0, 100, 0.0, SiteScope::Global)],
+            vec![],
+        );
+        let mut cache = RouteCache::new();
+        let c = Catchment::compute(&g, &dep, &mut cache);
+        let a = c.assign(Asn(1), &p(58.0)).unwrap();
+        assert_eq!(a.site, SiteId(0));
+        // Path: user(58) → pop(58) → interconnect(60) → site(0): the
+        // ingress detour makes it longer than the direct distance.
+        let direct = p(58.0).distance_km(&p(0.0));
+        assert!(a.path_km > direct);
+    }
+
+    #[test]
+    fn source_inside_origin_as_gets_origin_class() {
+        let mut g = AsGraph::new();
+        g.add_as(node(100, AsKind::Content, vec![p(0.0), p(30.0)]));
+        let dep = AnycastDeployment::new(
+            "ring",
+            vec![site(0, 100, 0.0, SiteScope::Global), site(1, 100, 30.0, SiteScope::Global)],
+            vec![],
+        );
+        let mut cache = RouteCache::new();
+        let c = Catchment::compute(&g, &dep, &mut cache);
+        let a = c.assign(Asn(100), &p(29.0)).unwrap();
+        assert_eq!(a.class, RouteClass::Origin);
+        assert_eq!(a.site, SiteId(1));
+        assert_eq!(a.as_path, vec![Asn(100)]);
+    }
+
+    #[test]
+    fn route_cache_is_shared_across_deployments() {
+        let (g, dep) = inflation_world();
+        let mut cache = RouteCache::new();
+        let _c1 = Catchment::compute(&g, &dep, &mut cache);
+        let n = cache.len();
+        let _c2 = Catchment::compute(&g, &dep, &mut cache);
+        assert_eq!(cache.len(), n, "second deployment reuses cached origins");
+    }
+
+    #[test]
+    fn unreachable_source_gets_none() {
+        let (mut g, dep) = inflation_world();
+        g.add_as(node(99, AsKind::Eyeball, vec![p(-50.0)]));
+        let mut cache = RouteCache::new();
+        let c = Catchment::compute(&g, &dep, &mut cache);
+        assert!(c.assign(Asn(99), &p(-50.0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_site_ids_panic() {
+        AnycastDeployment::new("bad", vec![site(1, 10, 0.0, SiteScope::Global)], vec![]);
+    }
+}

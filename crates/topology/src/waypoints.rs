@@ -1,0 +1,125 @@
+//! Resolution of AS-level paths into geographic waypoint sequences.
+//!
+//! Latency in the reproduction is driven by *where packets physically
+//! travel*. Given the AS-level path BGP selected, each AS hands traffic to
+//! the next at an interconnection point, chosen hot-potato (the link's
+//! interconnect nearest to where the traffic currently is). Sparse
+//! interconnection between distant ASes therefore yields circuitous
+//! geographic paths — the mechanism behind "shorter AS paths tend to have
+//! lower inflation" (Fig. 6b).
+
+use crate::graph::AsGraph;
+use geo::GeoPoint;
+
+/// Resolves the geographic waypoints of a path.
+///
+/// * `nodes`/`links` — the AS-level path as produced by
+///   [`crate::bgp::OriginRoutes::path_via`] (`links[i]` joins `nodes[i]`
+///   to `nodes[i+1]`),
+/// * `user_loc` — where the traffic starts,
+/// * `dest` — the final destination (anycast site location).
+///
+/// The result starts at `user_loc`, passes through the source AS's serving
+/// PoP, crosses each link at its hot-potato interconnect, and ends at
+/// `dest`.
+///
+/// # Panics
+///
+/// Panics if `links.len() + 1 != nodes.len()` (malformed path).
+pub fn resolve(
+    graph: &AsGraph,
+    nodes: &[usize],
+    links: &[usize],
+    user_loc: &GeoPoint,
+    dest: &GeoPoint,
+) -> Vec<GeoPoint> {
+    assert_eq!(links.len() + 1, nodes.len(), "malformed path");
+    let mut points = Vec::with_capacity(links.len() + 3);
+    points.push(*user_loc);
+    // Traffic first reaches the source AS's serving PoP (last-mile).
+    let src_asn = graph.node_at(nodes[0]).asn;
+    let mut cur = graph.serving_pop(src_asn, user_loc);
+    points.push(cur);
+    for &link in links {
+        let hop = graph.nearest_interconnect(link, &cur);
+        points.push(hop);
+        cur = hop;
+    }
+    points.push(*dest);
+    points
+}
+
+/// Total great-circle length of a waypoint sequence, in kilometers.
+pub fn length_km(points: &[GeoPoint]) -> f64 {
+    points.windows(2).map(|w| w[0].distance_km(&w[1])).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asn::{AsKind, Asn, OrgId};
+    use crate::graph::AsNode;
+
+    fn node(asn: u32, pops: Vec<GeoPoint>) -> AsNode {
+        AsNode {
+            asn: Asn(asn),
+            kind: AsKind::Transit,
+            org: OrgId(asn),
+            name: format!("as{asn}"),
+            pops,
+            prefixes: vec![],
+        }
+    }
+
+    fn simple_graph() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.add_as(node(1, vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(0.0, 40.0)]));
+        g.add_as(node(2, vec![GeoPoint::new(0.0, 50.0)]));
+        g.add_peer_link(
+            Asn(1),
+            Asn(2),
+            vec![GeoPoint::new(0.0, 45.0), GeoPoint::new(30.0, 10.0)],
+        );
+        g
+    }
+
+    #[test]
+    fn resolve_walks_serving_pop_then_interconnects() {
+        let g = simple_graph();
+        let user = GeoPoint::new(1.0, 38.0);
+        let dest = GeoPoint::new(0.0, 55.0);
+        let pts = resolve(&g, &[0, 1], &[0], &user, &dest);
+        assert_eq!(pts.len(), 4); // user, serving pop, interconnect, dest
+        assert!((pts[1].lon() - 40.0).abs() < 1e-9, "nearest PoP is lon 40");
+        assert!((pts[2].lon() - 45.0).abs() < 1e-9, "hot-potato interconnect");
+        assert!((pts[3].lon() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_as_path_has_no_interconnects() {
+        let g = simple_graph();
+        let user = GeoPoint::new(0.0, 1.0);
+        let dest = GeoPoint::new(0.0, 2.0);
+        let pts = resolve(&g, &[0], &[], &user, &dest);
+        assert_eq!(pts.len(), 3); // user, serving pop, dest
+    }
+
+    #[test]
+    fn length_sums_segments() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 1.0);
+        let c = GeoPoint::new(0.0, 2.0);
+        let full = length_km(&[a, b, c]);
+        assert!((full - a.distance_km(&b) - b.distance_km(&c)).abs() < 1e-9);
+        assert_eq!(length_km(&[a]), 0.0);
+        assert_eq!(length_km(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn mismatched_path_panics() {
+        let g = simple_graph();
+        let p = GeoPoint::new(0.0, 0.0);
+        resolve(&g, &[0, 1], &[], &p, &p);
+    }
+}

@@ -1,0 +1,229 @@
+//! Browsing-session workloads for the local-perspective experiments.
+//!
+//! §4.3's local measurements need realistic *user query streams*: the ISI
+//! resolver served "hundreds of users on laptops" for a year; the two
+//! authors ran local BINDs for four weeks; Appendix E replays the
+//! GTmetrix top-1000 pages. [`BrowseGenerator`] produces those streams:
+//! page visits that fan out into DNS lookups with realistic name reuse
+//! (revisited sites hit the answer cache), plus the Chromium startup
+//! probes and junk-suffix leakage real clients emit.
+
+use dns::query::{QueryName, JUNK_SUFFIXES};
+use dns::zone::RootZone;
+use netsim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Browsing workload parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrowseConfig {
+    /// Number of users sharing the resolver.
+    pub users: usize,
+    /// Mean page visits per user per day.
+    pub pages_per_user_per_day: f64,
+    /// Mean DNS lookups per page (page + third-party assets).
+    pub lookups_per_page: f64,
+    /// Size of the site universe users draw from (Zipf).
+    pub site_universe: usize,
+    /// Browser restarts per user per day (each fires 3 Chromium probes).
+    pub restarts_per_user_per_day: f64,
+    /// Junk-suffix queries per user per day (OS/software leakage).
+    pub junk_per_user_per_day: f64,
+}
+
+impl Default for BrowseConfig {
+    fn default() -> Self {
+        Self {
+            users: 100,
+            pages_per_user_per_day: 80.0,
+            lookups_per_page: 8.0,
+            site_universe: 4000,
+            restarts_per_user_per_day: 2.0,
+            junk_per_user_per_day: 3.0,
+        }
+    }
+}
+
+/// One user query arriving at the resolver.
+#[derive(Debug, Clone)]
+pub struct BrowseEvent {
+    /// Arrival time.
+    pub t: SimTime,
+    /// The query.
+    pub query: QueryName,
+}
+
+/// Generates browsing query streams.
+#[derive(Debug)]
+pub struct BrowseGenerator {
+    config: BrowseConfig,
+    rng: StdRng,
+    /// Site universe: (hostname, tld index) with Zipf popularity.
+    sites: Vec<(String, usize)>,
+}
+
+impl BrowseGenerator {
+    /// Creates a generator over `zone`'s TLDs.
+    pub fn new(config: BrowseConfig, zone: &RootZone, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb205_e000_0000_0001);
+        let sites = (0..config.site_universe)
+            .map(|i| {
+                let tld = zone.sample_tld(&mut rng);
+                (format!("site{i}"), tld)
+            })
+            .collect();
+        Self { config, rng, sites }
+    }
+
+    /// Generates `days` of queries, time-ordered.
+    pub fn generate(&mut self, days: f64, zone: &RootZone) -> Vec<BrowseEvent> {
+        let mut events: Vec<BrowseEvent> = Vec::new();
+        let day_ms = 86_400_000.0;
+        let horizon = days * day_ms;
+        let cfg = self.config.clone();
+
+        // Page visits (all users pooled — the resolver can't tell apart).
+        let total_pages = (cfg.users as f64 * cfg.pages_per_user_per_day * days) as usize;
+        for _ in 0..total_pages {
+            let t0 = self.rng.gen_range(0.0..horizon);
+            // Zipf site choice.
+            let site_idx = self.zipf(cfg.site_universe);
+            let (host, tld_idx) = self.sites[site_idx].clone();
+            let tld = zone.tld(tld_idx).name.clone();
+            let n_lookups = 1 + self.poisson_ish(cfg.lookups_per_page - 1.0);
+            for k in 0..n_lookups {
+                // First lookup is the site itself; the rest are assets on
+                // a mix of its own subdomains and popular third parties.
+                let q = if k == 0 {
+                    QueryName::valid_host(host.clone(), tld.clone())
+                } else if self.rng.gen_bool(0.6) {
+                    // Third-party asset: another (usually popular) site.
+                    let third = self.zipf(cfg.site_universe.min(400));
+                    let (h, t) = self.sites[third].clone();
+                    QueryName::valid_host(format!("cdn.{h}"), zone.tld(t).name.clone())
+                } else {
+                    QueryName::valid_host(format!("static{k}.{host}"), tld.clone())
+                };
+                events.push(BrowseEvent { t: SimTime(t0 + k as f64 * 35.0), query: q });
+            }
+        }
+
+        // Chromium startup probes: 3 random labels per restart.
+        let restarts = (cfg.users as f64 * cfg.restarts_per_user_per_day * days) as usize;
+        for _ in 0..restarts {
+            let t0 = self.rng.gen_range(0.0..horizon);
+            for k in 0..3 {
+                let len = self.rng.gen_range(7..=15);
+                let label: String =
+                    (0..len).map(|_| (b'a' + self.rng.gen_range(0..26)) as char).collect();
+                events.push(BrowseEvent {
+                    t: SimTime(t0 + k as f64 * 2.0),
+                    query: QueryName::chromium_probe(label),
+                });
+            }
+        }
+
+        // Junk-suffix leakage.
+        let junk = (cfg.users as f64 * cfg.junk_per_user_per_day * days) as usize;
+        for _ in 0..junk {
+            let t = SimTime(self.rng.gen_range(0.0..horizon));
+            let suffix = JUNK_SUFFIXES[self.rng.gen_range(0..JUNK_SUFFIXES.len())];
+            events.push(BrowseEvent { t, query: QueryName::junk(suffix) });
+        }
+
+        events.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite times"));
+        events
+    }
+
+    /// Zipf(1)-ish index in `[0, n)`.
+    fn zipf(&mut self, n: usize) -> usize {
+        let h_n: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+        let mut x = self.rng.gen_range(0.0..h_n);
+        for k in 1..=n {
+            x -= 1.0 / k as f64;
+            if x <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    fn poisson_ish(&mut self, lambda: f64) -> usize {
+        let floor = lambda.max(0.0).floor() as usize;
+        let mut v = 0;
+        for _ in 0..floor * 2 {
+            if self.rng.gen_bool(0.5) {
+                v += 1;
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns::query::QueryClass;
+
+    fn gen_day() -> Vec<BrowseEvent> {
+        let zone = RootZone::generate(1, 200);
+        let mut g = BrowseGenerator::new(
+            BrowseConfig { users: 20, ..Default::default() },
+            &zone,
+            7,
+        );
+        g.generate(1.0, &zone)
+    }
+
+    #[test]
+    fn events_are_time_ordered_within_horizon() {
+        let events = gen_day();
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].t <= w[1].t);
+        }
+        assert!(events.last().expect("non-empty").t.as_ms() <= 86_400_000.0 + 1e4);
+    }
+
+    #[test]
+    fn traffic_is_mostly_valid_with_probe_and_junk_minority() {
+        let events = gen_day();
+        let n = events.len() as f64;
+        let count = |c: QueryClass| {
+            events.iter().filter(|e| e.query.class == c).count() as f64 / n
+        };
+        assert!(count(QueryClass::ValidTld) > 0.8);
+        assert!(count(QueryClass::ChromiumProbe) > 0.0);
+        assert!(count(QueryClass::JunkSuffix) > 0.0);
+    }
+
+    #[test]
+    fn popular_sites_are_revisited() {
+        let events = gen_day();
+        use std::collections::HashMap;
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for e in &events {
+            if e.query.class == QueryClass::ValidTld {
+                *counts.entry(e.query.fqdn.as_str()).or_default() += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max > 3, "Zipf reuse should revisit popular names (max {max})");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let zone = RootZone::generate(1, 200);
+        let mk = || {
+            BrowseGenerator::new(BrowseConfig { users: 5, ..Default::default() }, &zone, 3)
+                .generate(0.5, &zone)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.query.fqdn, y.query.fqdn);
+        }
+    }
+}

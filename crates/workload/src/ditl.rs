@@ -1,0 +1,501 @@
+//! The DITL capture campaign: 48 hours of root traffic, synthesized.
+//!
+//! Real DITL gives the paper, per root letter, per recursive /24, per
+//! anycast site: query volumes, query classes, transport, and (via TCP
+//! handshakes) RTTs. This module produces the same dataset from the
+//! simulated world, at *rate* level — per-day volumes per
+//! ⟨letter, resolver IP, site, class, transport⟩ — rather than 51.9
+//! billion individual packets, which is the aggregation the analysis
+//! pipeline starts from anyway.
+//!
+//! Reproduced traffic structure (§2.1):
+//! * valid-TLD volume driven by per-recursive user counts with a
+//!   heavy-tailed per-user rate (buggy resolvers form the tail, App. E),
+//! * invalid-TLD volume (Chromium probes + junk suffixes) concentrated
+//!   at high-user recursives — the reason Appendix B.1's unfiltered
+//!   rerun shifts Fig. 3 twenty-fold,
+//! * PTR background, private-source noise, IPv6 share, spoofed sources,
+//! * per-letter query shares from the resolver letter-preference policy,
+//! * site flapping from intermediate-AS load balancing (App. B.2),
+//! * a TCP fraction carrying handshake RTT medians (§3's latency data).
+
+use crate::users::{Recursive, UserPopulation};
+use dns::letters::{Letter, LetterSet};
+use dns::query::QueryClass;
+use dns::resolver::letter_weights;
+use netsim::{LastMile, LatencyModel, PathProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use topology::gen::Internet;
+use topology::{Catchment, Ipv4Addr24, Prefix24, RouteCache, SiteAssignment, SiteId};
+
+/// DITL synthesis parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DitlConfig {
+    /// Seed for all campaign randomness.
+    pub seed: u64,
+    /// Median daily valid-TLD root queries per user (paper: ≈1).
+    pub valid_per_user_median: f64,
+    /// Lognormal σ of the per-recursive per-user rate.
+    pub valid_sigma: f64,
+    /// Fraction of recursives with pathological re-query behaviour.
+    pub buggy_recursive_prob: f64,
+    /// Multiplier range applied to buggy recursives' valid volume.
+    pub bug_multiplier: (f64, f64),
+    /// Median daily Chromium-probe queries per user.
+    pub chromium_per_user: f64,
+    /// Median daily junk-suffix queries per user at the reference size.
+    pub junk_per_user_median: f64,
+    /// Superlinear concentration of junk at large recursives:
+    /// junk/user ∝ (users / 1000)^exponent.
+    pub junk_user_exponent: f64,
+    /// Typo queries as a fraction of valid volume.
+    pub typo_fraction: f64,
+    /// PTR volume as a fraction of (valid + invalid).
+    pub ptr_fraction: f64,
+    /// Fraction of queries carried over TCP.
+    pub tcp_fraction: f64,
+    /// Probability a /24 splits across two sites (App. B.2 observed <20%
+    /// of /24s not fully on their favorite site).
+    pub flap_prob: f64,
+    /// Share of a flapping /24's queries that go to the second site.
+    pub flap_share: f64,
+    /// Fraction of valid volume with spoofed source addresses.
+    pub spoof_fraction: f64,
+    /// Fraction of volume arriving over IPv6 (excluded by §2.1).
+    pub v6_fraction: f64,
+    /// Fraction of volume from private-space sources (excluded by §2.1).
+    pub private_fraction: f64,
+    /// Letter-preference exploration (matches the resolver policy).
+    pub letter_exploration: f64,
+    /// TCP RTT samples drawn per (letter, resolver, site) row.
+    pub tcp_samples: u32,
+}
+
+impl Default for DitlConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2018,
+            valid_per_user_median: 0.55,
+            valid_sigma: 1.2,
+            buggy_recursive_prob: 0.05,
+            bug_multiplier: (10.0, 80.0),
+            chromium_per_user: 2.0,
+            junk_per_user_median: 1.2,
+            junk_user_exponent: 0.35,
+            typo_fraction: 0.02,
+            ptr_fraction: 0.04,
+            tcp_fraction: 0.06,
+            flap_prob: 0.15,
+            flap_share: 0.2,
+            spoof_fraction: 0.01,
+            v6_fraction: 0.12,
+            private_fraction: 0.07,
+            letter_exploration: 0.6,
+            tcp_samples: 15,
+        }
+    }
+}
+
+/// One aggregated capture row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DitlRow {
+    /// The letter whose capture this row appears in.
+    pub letter: Letter,
+    /// Source address as seen at the root (resolver IP, spoofed victim,
+    /// or private-space noise).
+    pub src: Ipv4Addr24,
+    /// Whether the traffic arrived over IPv6.
+    pub ipv6: bool,
+    /// Ground truth: source address was spoofed. Analysis code must not
+    /// read this (the paper can't either); it exists for validation.
+    pub spoofed: bool,
+    /// Site that captured the queries.
+    pub site: SiteId,
+    /// Traffic class.
+    pub class: QueryClass,
+    /// Whether this row is the TCP share.
+    pub tcp: bool,
+    /// Daily query volume.
+    pub queries_per_day: f64,
+    /// Median handshake RTT for TCP rows with enough samples.
+    pub tcp_rtt_median_ms: Option<f64>,
+}
+
+/// The synthesized DITL dataset.
+#[derive(Debug, Clone)]
+pub struct DitlDataset {
+    /// All rows.
+    pub rows: Vec<DitlRow>,
+    /// Census year the letters were built for.
+    pub year: u16,
+    /// Letters with usable captures in this dataset.
+    pub captured_letters: Vec<Letter>,
+}
+
+impl DitlDataset {
+    /// Total daily queries across all rows (before any filtering).
+    pub fn total_queries_per_day(&self) -> f64 {
+        self.rows.iter().map(|r| r.queries_per_day).sum()
+    }
+
+    /// Generates the campaign.
+    pub fn generate(
+        internet: &Internet,
+        letters: &LetterSet,
+        population: &UserPopulation,
+        model: &LatencyModel,
+        config: &DitlConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xd171_2018_0410_0000);
+        let mut cache = RouteCache::new();
+
+        // Catchments for all letters (weights need RTTs to all 13, even
+        // those whose captures we can't read).
+        let catchments: Vec<(Letter, Catchment<'_>, bool)> = letters
+            .letters
+            .iter()
+            .map(|l| {
+                let captured = l.meta.in_ditl && !l.meta.fully_anonymized;
+                (
+                    l.meta.letter,
+                    Catchment::compute(&internet.graph, &l.deployment, &mut cache),
+                    captured,
+                )
+            })
+            .collect();
+        let captured_letters: Vec<Letter> = catchments
+            .iter()
+            .filter(|(_, _, c)| *c)
+            .map(|(l, _, _)| *l)
+            .collect();
+
+        let mut rows: Vec<DitlRow> = Vec::new();
+        let n_recursives = population.recursives.len();
+        for rec in &population.recursives {
+            if rec.users <= 0.0 {
+                continue;
+            }
+            // --- per-recursive routing and RTTs toward every letter ----
+            let mut per_letter: Vec<(Letter, Vec<SiteAssignment>, f64, bool)> = Vec::new();
+            for (letter, catchment, captured) in &catchments {
+                let ranked = catchment.ranked_top(rec.asn, &rec.location, 2);
+                if ranked.is_empty() {
+                    continue;
+                }
+                let rtt = model.median_rtt_ms(&PathProfile::from_assignment(
+                    &ranked[0],
+                    LastMile::None,
+                ));
+                per_letter.push((*letter, ranked, rtt, *captured));
+            }
+            if per_letter.is_empty() {
+                continue;
+            }
+            let weights = letter_weights(
+                &per_letter.iter().map(|(l, _, r, _)| (*l, *r)).collect::<Vec<_>>(),
+                config.letter_exploration,
+            );
+
+            // --- per-recursive daily volumes by class -------------------
+            let ln = |rng: &mut StdRng, median: f64, sigma: f64| -> f64 {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                median * (sigma * z).exp()
+            };
+            let mut valid = rec.users * ln(&mut rng, config.valid_per_user_median, config.valid_sigma);
+            if rng.gen_bool(config.buggy_recursive_prob) {
+                valid *= rng.gen_range(config.bug_multiplier.0..config.bug_multiplier.1);
+            }
+            let chromium = rec.users * ln(&mut rng, config.chromium_per_user, 0.6);
+            let junk = rec.users
+                * ln(&mut rng, config.junk_per_user_median, 0.9)
+                * (rec.users / 1000.0).max(0.05).powf(config.junk_user_exponent);
+            let typo = valid * config.typo_fraction;
+            let ptr = (valid + chromium + junk) * config.ptr_fraction;
+            let classes = [
+                (QueryClass::ValidTld, valid),
+                (QueryClass::ChromiumProbe, chromium),
+                (QueryClass::JunkSuffix, junk),
+                (QueryClass::Typo, typo),
+                (QueryClass::Ptr, ptr),
+            ];
+
+            // --- site flapping ------------------------------------------
+            let flapping = rng.gen_bool(config.flap_prob);
+            let flap_share = config.flap_share * rng.gen_range(0.25..2.25);
+
+            // --- IP split inside the /24 --------------------------------
+            let ip_shares: Vec<(u8, f64)> = {
+                let raws: Vec<f64> =
+                    rec.query_ips.iter().map(|_| rng.gen_range(0.2..1.0)).collect();
+                let total: f64 = raws.iter().sum();
+                rec.query_ips.iter().zip(raws).map(|(h, w)| (*h, w / total)).collect()
+            };
+
+            for (letter, ranked, _rtt, captured) in &per_letter {
+                if !captured {
+                    continue;
+                }
+                let weight = weights
+                    .iter()
+                    .find(|(l, _)| l == letter)
+                    .map(|(_, w)| *w)
+                    .unwrap_or(0.0);
+                if weight <= 0.0 {
+                    continue;
+                }
+                // Site split: all to primary unless flapping.
+                let mut site_split: Vec<(&SiteAssignment, f64)> = vec![(&ranked[0], 1.0)];
+                if flapping && ranked.len() > 1 {
+                    site_split = vec![
+                        (&ranked[0], 1.0 - flap_share),
+                        (&ranked[1], flap_share),
+                    ];
+                }
+                for (assignment, site_frac) in &site_split {
+                    let profile =
+                        PathProfile::from_assignment(assignment, LastMile::None);
+                    for (class, volume) in &classes {
+                        let v = volume * weight * site_frac;
+                        if v < 1e-6 {
+                            continue;
+                        }
+                        emit_rows(
+                            &mut rows,
+                            &mut rng,
+                            rec,
+                            &ip_shares,
+                            *letter,
+                            assignment.site,
+                            *class,
+                            v,
+                            &profile,
+                            model,
+                            config,
+                        );
+                    }
+                }
+            }
+
+            // --- spoofed traffic: valid-class volume whose source is a
+            // random other recursive's /24 (route/latency are the
+            // attacker's, making the victim look badly routed).
+            if config.spoof_fraction > 0.0 && n_recursives > 1 {
+                let victim_idx = rng.gen_range(0..n_recursives);
+                let victim: &Recursive = &population.recursives[victim_idx];
+                if victim.id != rec.id {
+                    if let Some((letter, ranked, _, true)) = per_letter.first().map(|x| (x.0, &x.1, x.2, x.3)) {
+                        rows.push(DitlRow {
+                            letter,
+                            src: victim.prefix.host(rng.gen_range(1..=250)),
+                            ipv6: false,
+                            spoofed: true,
+                            site: ranked[0].site,
+                            class: QueryClass::ValidTld,
+                            tcp: false,
+                            queries_per_day: valid * config.spoof_fraction,
+                            tcp_rtt_median_ms: None,
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- private-space background noise, spread over letters -------
+        let total: f64 = rows.iter().map(|r| r.queries_per_day).sum();
+        let private_total = total * config.private_fraction / (1.0 - config.private_fraction);
+        let n_private = 40.min(captured_letters.len() * 4).max(1);
+        for i in 0..n_private {
+            let letter = captured_letters[i % captured_letters.len()];
+            let prefix = Prefix24::containing(0x0a_00_00_00 + ((i as u32) << 8));
+            rows.push(DitlRow {
+                letter,
+                src: prefix.host(53),
+                ipv6: false,
+                spoofed: false,
+                site: SiteId(0),
+                class: QueryClass::ValidTld,
+                tcp: false,
+                queries_per_day: private_total / n_private as f64,
+                tcp_rtt_median_ms: None,
+            });
+        }
+
+        Self { rows, year: letters.year, captured_letters }
+    }
+}
+
+/// Emits the UDP/TCP and v4/v6 row splits for one
+/// (recursive, letter, site, class) volume.
+#[allow(clippy::too_many_arguments)]
+fn emit_rows(
+    rows: &mut Vec<DitlRow>,
+    rng: &mut StdRng,
+    rec: &Recursive,
+    ip_shares: &[(u8, f64)],
+    letter: Letter,
+    site: SiteId,
+    class: QueryClass,
+    volume: f64,
+    profile: &PathProfile,
+    model: &LatencyModel,
+    config: &DitlConfig,
+) {
+    for (host, share) in ip_shares {
+        let v = volume * share;
+        let v6 = v * config.v6_fraction;
+        let v4 = v - v6;
+        let tcp = v4 * config.tcp_fraction;
+        let udp = v4 - tcp;
+        let src = rec.prefix.host(*host);
+        if udp > 1e-9 {
+            rows.push(DitlRow {
+                letter,
+                src,
+                ipv6: false,
+                spoofed: false,
+                site,
+                class,
+                tcp: false,
+                queries_per_day: udp,
+                tcp_rtt_median_ms: None,
+            });
+        }
+        if tcp > 1e-9 {
+            let mut samples: Vec<f64> = (0..config.tcp_samples)
+                .map(|_| model.sample_rtt_ms(profile, rng))
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let median = samples[samples.len() / 2];
+            rows.push(DitlRow {
+                letter,
+                src,
+                ipv6: false,
+                spoofed: false,
+                site,
+                class,
+                tcp: true,
+                queries_per_day: tcp,
+                tcp_rtt_median_ms: Some(median),
+            });
+        }
+        if v6 > 1e-9 {
+            rows.push(DitlRow {
+                letter,
+                src,
+                ipv6: true,
+                spoofed: false,
+                site,
+                class,
+                tcp: false,
+                queries_per_day: v6,
+                tcp_rtt_median_ms: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::users::UserConfig;
+    use topology::{InternetGenerator, TopologyConfig};
+
+    fn dataset() -> DitlDataset {
+        let mut net = InternetGenerator::generate(&TopologyConfig::small(71));
+        let letters = LetterSet::build(&mut net, 2018, 0.15);
+        let pop = UserPopulation::synthesize(
+            &mut net,
+            &UserConfig { total_users: 1.0e6, ..Default::default() },
+        );
+        DitlDataset::generate(
+            &net,
+            &letters,
+            &pop,
+            &LatencyModel::default(),
+            &DitlConfig::default(),
+        )
+    }
+
+    #[test]
+    fn captures_exclude_g_and_i() {
+        let d = dataset();
+        assert!(!d.captured_letters.contains(&Letter::G));
+        assert!(!d.captured_letters.contains(&Letter::I));
+        assert_eq!(d.captured_letters.len(), 11);
+        for r in &d.rows {
+            assert!(d.captured_letters.contains(&r.letter));
+        }
+    }
+
+    #[test]
+    fn traffic_mix_matches_paper_shape() {
+        let d = dataset();
+        let by_class = |c: QueryClass| -> f64 {
+            d.rows.iter().filter(|r| r.class == c).map(|r| r.queries_per_day).sum()
+        };
+        let valid = by_class(QueryClass::ValidTld);
+        let invalid = by_class(QueryClass::ChromiumProbe)
+            + by_class(QueryClass::JunkSuffix)
+            + by_class(QueryClass::Typo);
+        let total = d.total_queries_per_day();
+        // §2.1: invalid names are the majority of root traffic.
+        assert!(invalid > valid, "invalid {invalid} vs valid {valid}");
+        assert!(invalid / total > 0.35, "invalid share {}", invalid / total);
+        // PTR is a few percent.
+        let ptr = by_class(QueryClass::Ptr) / total;
+        assert!((0.005..0.15).contains(&ptr), "ptr share {ptr}");
+    }
+
+    #[test]
+    fn v6_and_private_shares_are_plausible() {
+        let d = dataset();
+        let total = d.total_queries_per_day();
+        let v6: f64 = d.rows.iter().filter(|r| r.ipv6).map(|r| r.queries_per_day).sum();
+        assert!((0.05..0.2).contains(&(v6 / total)), "v6 {}", v6 / total);
+        let private: f64 = d
+            .rows
+            .iter()
+            .filter(|r| r.src.prefix.is_private())
+            .map(|r| r.queries_per_day)
+            .sum();
+        assert!((0.01..0.15).contains(&(private / total)), "private {}", private / total);
+    }
+
+    #[test]
+    fn tcp_rows_carry_rtt_medians() {
+        let d = dataset();
+        let tcp_rows: Vec<&DitlRow> = d.rows.iter().filter(|r| r.tcp).collect();
+        assert!(!tcp_rows.is_empty());
+        for r in tcp_rows {
+            let rtt = r.tcp_rtt_median_ms.expect("tcp rows carry medians");
+            assert!(rtt > 0.0 && rtt < 2000.0);
+        }
+    }
+
+    #[test]
+    fn most_24s_hit_one_site_per_letter() {
+        let d = dataset();
+        use std::collections::{HashMap, HashSet};
+        let mut sites: HashMap<(Letter, Prefix24), HashSet<u32>> = HashMap::new();
+        for r in &d.rows {
+            if !r.spoofed && !r.src.prefix.is_private() {
+                sites.entry((r.letter, r.src.prefix)).or_default().insert(r.site.0);
+            }
+        }
+        let single = sites.values().filter(|s| s.len() == 1).count();
+        let frac = single as f64 / sites.len() as f64;
+        assert!(frac > 0.7, "single-site fraction {frac}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = dataset();
+        let b = dataset();
+        assert_eq!(a.rows.len(), b.rows.len());
+        assert!((a.total_queries_per_day() - b.total_queries_per_day()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,88 @@
+//! The CDN half of the paper: per-ring latency (§5), inflation (§6), and
+//! the peering ablation behind §7.1 — turn Microsoft-grade peering off
+//! and watch inflation appear.
+//!
+//! ```text
+//! cargo run --release --example cdn_study [scale]
+//! ```
+
+use anycast_context::analysis::cdn_inflation;
+use anycast_context::cdn::PAGE_LOAD_RTTS;
+use anycast_context::{World, WorldConfig};
+
+fn study(world: &World, label: &str) {
+    let users = world.users_by_location();
+    println!(
+        "\n[{label}] eyeball peering probability = {:.2}",
+        world.config.cdn_eyeball_peering
+    );
+    println!(
+        "{:<8}{:>6}{:>14}{:>14}{:>14}{:>16}",
+        "ring", "sites", "geo med ms", "lat med ms", "lat p90 ms", "zero-geo users"
+    );
+    for ring in &world.cdn.rings {
+        let result = cdn_inflation(&world.server_logs, ring, &world.internet, &users);
+        println!(
+            "{:<8}{:>6}{:>14.2}{:>14.2}{:>14.2}{:>15.1}%",
+            ring.name,
+            ring.size,
+            result.geo.median(),
+            result.latency.median(),
+            result.latency.quantile(0.9),
+            result.geo.intercept(1.0) * 100.0,
+        );
+    }
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
+
+    // The engineered CDN: extensive peering, front-ends collocated with
+    // every peering PoP (§7.1).
+    let engineered = World::build(&WorldConfig { scale, ..WorldConfig::paper(11) });
+    study(&engineered, "engineered");
+
+    // Per-page-load impact (§5.1): anycast latency × ~10 RTTs.
+    let ring = engineered.cdn.largest_ring();
+    let pings = engineered.atlas.ping_deployment(
+        &engineered.internet,
+        &ring.deployment,
+        &engineered.model,
+        3,
+        1,
+    );
+    let mut medians: Vec<f64> = pings
+        .iter()
+        .filter_map(|(_, rtts)| anycast_context::analysis::median(rtts))
+        .collect();
+    medians.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    if !medians.is_empty() {
+        let med = medians[medians.len() / 2];
+        println!(
+            "\n§5.1 — {} median RTT {:.1} ms ⇒ ≈{:.0} ms per page load ({} RTTs)",
+            ring.name,
+            med,
+            med * PAGE_LOAD_RTTS as f64,
+            PAGE_LOAD_RTTS
+        );
+    }
+
+    // Ablation: strip the peering investment away. Same topology family,
+    // same front-ends — but users now reach the CDN through transit, and
+    // BGP's geography-blind tie-breaks start to bite.
+    let unpeered = World::build(&WorldConfig {
+        scale,
+        cdn_eyeball_peering: 0.05,
+        ..WorldConfig::paper(11)
+    });
+    study(&unpeered, "ablated");
+
+    println!(
+        "\n§7.1 takeaway: the engineered deployment keeps most users at \
+         zero geographic inflation; removing peering pushes users onto \
+         transit paths where the early-exit no longer lands at a front-end."
+    );
+}

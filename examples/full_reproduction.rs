@@ -1,0 +1,21 @@
+//! Regenerate every table and figure in one run (the library-API twin of
+//! the `repro` binary).
+//!
+//! ```text
+//! cargo run --release --example full_reproduction [scale]
+//! ```
+
+use anycast_context::{experiments, World, WorldConfig};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let world = World::build(&WorldConfig { scale, ..WorldConfig::paper(2021) });
+    for id in experiments::ALL_IDS {
+        for artifact in experiments::run(id, &world) {
+            println!("{}", artifact.render_text());
+        }
+    }
+}

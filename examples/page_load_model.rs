@@ -1,0 +1,63 @@
+//! Appendix C standalone: Eq. 4 slow-start accounting and the parallel-
+//! connection page-load lower bound, plus what inflation costs per page.
+//!
+//! ```text
+//! cargo run --release --example page_load_model
+//! ```
+
+use anycast_context::cdn::PageLoadStudy;
+use anycast_context::netsim::tcp::{
+    page_load_rtts, transfer_rtts, ConnectionPlan, DEFAULT_INIT_WINDOW_BYTES,
+};
+
+fn main() {
+    println!("-- Eq. 4: RTTs to transfer D bytes from a {} B initial window --",
+        DEFAULT_INIT_WINDOW_BYTES);
+    for kb in [10u64, 15, 30, 100, 500, 1000, 5000] {
+        println!(
+            "{:>6} kB → {} data RTTs",
+            kb,
+            transfer_rtts(kb * 1000, DEFAULT_INIT_WINDOW_BYTES)
+        );
+    }
+
+    println!("\n-- one synthetic page: parallel connections are free --");
+    let page = vec![
+        // The main document + bundled assets.
+        ConnectionPlan { start_ms: 0.0, end_ms: 900.0, bytes: 800_000 },
+        // Four parallel asset fetches during the main transfer.
+        ConnectionPlan { start_ms: 50.0, end_ms: 400.0, bytes: 60_000 },
+        ConnectionPlan { start_ms: 60.0, end_ms: 500.0, bytes: 90_000 },
+        ConnectionPlan { start_ms: 70.0, end_ms: 350.0, bytes: 30_000 },
+        ConnectionPlan { start_ms: 80.0, end_ms: 600.0, bytes: 120_000 },
+        // A straggler after onload.
+        ConnectionPlan { start_ms: 910.0, end_ms: 1000.0, bytes: 25_000 },
+    ];
+    let n = page_load_rtts(&page, DEFAULT_INIT_WINDOW_BYTES);
+    println!(
+        "{} connections, {} kB total → {} RTTs (parallel fetches absorbed \
+         by the primary transfer)",
+        page.len(),
+        page.iter().map(|c| c.bytes).sum::<u64>() / 1000,
+        n
+    );
+
+    println!("\n-- the paper's study: 9 pages × 20 loads --");
+    let study = PageLoadStudy::paper_scale(3);
+    for rtts in [8u32, 10, 12, 15, 20, 25] {
+        println!(
+            "within {rtts:>2} RTTs: {:>5.1}% of loads",
+            study.fraction_within(rtts) * 100.0
+        );
+    }
+    let bound = study.lower_bound_estimate();
+    println!("adopted lower bound: {bound} RTTs");
+
+    println!("\n-- what anycast inflation costs per page at that bound --");
+    for inflation_ms in [5.0, 20.0, 50.0, 100.0] {
+        println!(
+            "{inflation_ms:>5.0} ms per RTT → {:>5.0} ms extra per page load",
+            inflation_ms * bound as f64
+        );
+    }
+}

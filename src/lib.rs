@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # anycast-context
+//!
+//! A Rust reproduction of **"Anycast in Context: A Tale of Two
+//! Systems"** (Koch, Li, Ardi, Katz-Bassett, Calder, Heidemann —
+//! SIGCOMM 2021).
+//!
+//! The paper measures IP-anycast performance inside two production
+//! systems — the root DNS and Microsoft's CDN — and shows that anycast
+//! inflation is large where latency doesn't matter (root DNS, hidden by
+//! 2-day TLD caching) and small where it does (a densely-peered CDN
+//! paying ~10 RTTs per page load). The original study runs on restricted
+//! data (DITL captures, Microsoft telemetry); this crate rebuilds the
+//! entire measurement stack over a deterministic synthetic Internet and
+//! regenerates every table and figure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use anycast_context::{World, WorldConfig};
+//!
+//! // A small world: ~60 regions, both systems, all datasets.
+//! let world = World::build(&WorldConfig::small(42));
+//! assert_eq!(world.letters.letters.len(), 13); // thirteen root letters
+//! assert_eq!(world.cdn.rings.len(), 5);        // R28 ⊂ … ⊂ R110
+//!
+//! // Regenerate Fig. 3 (root queries per user per day).
+//! let artifacts = anycast_context::experiments::run("fig3", &world);
+//! println!("{}", artifacts[0].render_text());
+//! ```
+//!
+//! ## Layer map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`geo`] | great-circle geometry, the paper's latency bounds, world map |
+//! | [`topology`] | AS graph, Gao–Rexford BGP, anycast catchments |
+//! | [`netsim`] | RTT model, TCP slow start / page loads, probes, captures |
+//! | [`dns`] | root zone, 13 letters, caching recursive (+ BIND bug) |
+//! | [`cdn`] | rings, server logs, client measurements, page-load study |
+//! | [`workload`] | user populations, DITL campaign, Atlas panel, geolocation |
+//! | [`analysis`] | Eq. 1–3, amortization, joins, path-length pipeline |
+//! | [`core`](anycast_core) | world builder, experiment registry, renderers |
+
+pub use anycast_core::{experiments, Artifact, World, WorldConfig};
+
+pub use analysis;
+pub use anycast_core as core;
+pub use cdn;
+pub use dns;
+pub use geo;
+pub use netsim;
+pub use topology;
+pub use workload;

@@ -1,0 +1,90 @@
+//! Shape targets for the amortization methodology (§4, Fig. 3/8/9,
+//! Table 4): users barely wait on the roots, invalid traffic distorts
+//! the picture, and the /24 join is what makes the analysis representative.
+
+use anycast_context::analysis::{
+    ideal_queries_per_user_cdf, join_by_asn, join_by_ip, join_by_prefix, preprocess,
+    queries_per_user_cdf, FilterOptions,
+};
+use anycast_context::{World, WorldConfig};
+
+fn world() -> World {
+    World::build(&WorldConfig { scale: 0.25, ..WorldConfig::paper(2021) })
+}
+
+#[test]
+fn users_wait_for_about_one_root_query_per_day() {
+    let w = world();
+    let clean = preprocess(&w.ditl, &FilterOptions::default());
+    let cdn = queries_per_user_cdf(&join_by_prefix(&clean, &w.cdn_user_counts));
+    let (by_asn, mapped) = join_by_asn(&clean, &w.apnic_user_counts, &w.ip_to_asn);
+    let apnic = queries_per_user_cdf(&by_asn);
+
+    // Fig. 3: median ≈ 1 query/user/day under BOTH user datasets.
+    assert!(
+        (0.1..6.0).contains(&cdn.median()),
+        "CDN-line median {}",
+        cdn.median()
+    );
+    assert!(
+        (0.02..6.0).contains(&apnic.median()),
+        "APNIC-line median {}",
+        apnic.median()
+    );
+    // IP→ASN mapping covers nearly all volume (paper: 98.6%).
+    assert!(mapped > 0.95, "mapped volume {mapped}");
+}
+
+#[test]
+fn ideal_caching_is_orders_of_magnitude_below_reality() {
+    let w = world();
+    let clean = preprocess(&w.ditl, &FilterOptions::default());
+    let joined = join_by_prefix(&clean, &w.cdn_user_counts);
+    let observed = queries_per_user_cdf(&joined).median();
+    let ideal = ideal_queries_per_user_cdf(&joined, &w.zone).median();
+    assert!(
+        observed / ideal > 100.0,
+        "observed {observed} should dwarf ideal {ideal}"
+    );
+}
+
+#[test]
+fn counting_invalid_queries_shifts_the_median_many_fold() {
+    let w = world();
+    let filtered = preprocess(&w.ditl, &FilterOptions::default());
+    let unfiltered = preprocess(&w.ditl, &FilterOptions { keep_invalid: true });
+    let f = queries_per_user_cdf(&join_by_prefix(&filtered, &w.cdn_user_counts));
+    let u = queries_per_user_cdf(&join_by_prefix(&unfiltered, &w.cdn_user_counts));
+    // Fig. 8: a drastic (paper: ~20-fold) increase.
+    let ratio = u.median() / f.median();
+    assert!(ratio > 5.0, "with-invalid/filtered median ratio {ratio}");
+}
+
+#[test]
+fn slash24_join_recovers_most_volume_that_exact_ip_loses() {
+    let w = world();
+    let clean = preprocess(&w.ditl, &FilterOptions::default());
+    let with = join_by_prefix(&clean, &w.cdn_user_counts).stats;
+    let without = join_by_ip(&clean, &w.cdn_user_counts).stats;
+    // Table 4's direction on all four measures.
+    assert!(with.ditl_recursives_matched > without.ditl_recursives_matched * 1.5);
+    assert!(with.ditl_volume_matched > without.ditl_volume_matched * 1.3);
+    assert!(with.cdn_recursives_matched > without.cdn_recursives_matched);
+    assert!(with.cdn_users_matched > without.cdn_users_matched);
+    // And the joined pipeline ends with most DITL volume usable.
+    assert!(with.ditl_volume_matched > 0.6, "{}", with.ditl_volume_matched);
+}
+
+#[test]
+fn traffic_mix_matches_section_2_1() {
+    let w = world();
+    let clean = preprocess(&w.ditl, &FilterOptions::default());
+    // §2.1: invalid names dominate discards; private and v6 are minor
+    // but present.
+    assert!(clean.stats.invalid_tld > clean.stats.kept, "invalid > valid");
+    assert!(clean.stats.private_space > 0.0);
+    assert!(clean.stats.ipv6 > 0.0);
+    assert!(clean.stats.ptr > 0.0);
+    let kept = clean.stats.kept_fraction();
+    assert!((0.02..0.6).contains(&kept), "kept fraction {kept}");
+}

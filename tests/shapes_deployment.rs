@@ -1,0 +1,120 @@
+//! Shape targets for §7.2 (Fig. 7): larger deployments have lower
+//! latency but lower efficiency, and site coverage is dense.
+
+use anycast_context::analysis::{
+    cdn_inflation, coverage_cdf, efficiency, kendall_tau, median, preprocess, root_inflation,
+    FilterOptions,
+};
+use anycast_context::{World, WorldConfig};
+
+fn world() -> World {
+    World::build(&WorldConfig { scale: 0.25, ..WorldConfig::paper(2021) })
+}
+
+#[test]
+fn latency_decreases_with_deployment_size() {
+    let w = world();
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for entry in &w.letters.letters {
+        let rows =
+            w.atlas.ping_deployment(&w.internet, &entry.deployment, &w.model, 3, 1);
+        let meds: Vec<f64> = rows.iter().filter_map(|(_, r)| median(r)).collect();
+        if let Some(m) = median(&meds) {
+            pairs.push((entry.deployment.global_site_count() as f64, m));
+        }
+    }
+    for ring in &w.cdn.rings {
+        let rows = w.atlas.ping_deployment(&w.internet, &ring.deployment, &w.model, 3, 1);
+        let meds: Vec<f64> = rows.iter().filter_map(|(_, r)| median(r)).collect();
+        if let Some(m) = median(&meds) {
+            pairs.push((ring.size as f64, m));
+        }
+    }
+    let tau = kendall_tau(&pairs);
+    assert!(tau < -0.4, "latency should fall with sites (τ = {tau}; {pairs:?})");
+}
+
+#[test]
+fn ring_efficiency_declines_as_rings_grow() {
+    let w = world();
+    let users = w.users_by_location();
+    let effs: Vec<f64> = w
+        .cdn
+        .rings
+        .iter()
+        .map(|ring| {
+            let result = cdn_inflation(&w.server_logs, ring, &w.internet, &users);
+            efficiency(&result.geo)
+        })
+        .collect();
+    // Fig. 7a (right): the smallest ring is at least as efficient as the
+    // largest (monotone modulo noise).
+    assert!(
+        effs.first().expect("rings") >= effs.last().expect("rings"),
+        "efficiencies {effs:?}"
+    );
+}
+
+#[test]
+fn all_roots_coverage_beats_any_single_letter() {
+    let w = world();
+    let users = w.users_by_location();
+    // Union of all letters' global sites.
+    let mut all_sites = Vec::new();
+    for entry in &w.letters.letters {
+        for site in entry.deployment.global_sites() {
+            let mut s = site.clone();
+            s.id = anycast_context::topology::SiteId(all_sites.len() as u32);
+            all_sites.push(s);
+        }
+    }
+    let union =
+        anycast_context::topology::AnycastDeployment::new("all-roots", all_sites, vec![]);
+    let union_cov = coverage_cdf(&union, &w.internet, &users);
+
+    for entry in &w.letters.letters {
+        let cov = coverage_cdf(&entry.deployment, &w.internet, &users);
+        assert!(
+            union_cov.fraction_at_most(500.0) >= cov.fraction_at_most(500.0) - 1e-9,
+            "{} covers more than the union?",
+            entry.meta.letter
+        );
+    }
+    // Fig. 7b: the root system covers the vast majority of users within
+    // 1,000 km (paper: 91% within 500 km at full census).
+    let frac = union_cov.fraction_at_most(1000.0);
+    assert!(frac > 0.75, "all-roots 1,000 km coverage {frac}");
+}
+
+#[test]
+fn low_efficiency_is_not_necessarily_bad() {
+    // §7.2's F-root observation, as a mechanical check: among the
+    // analyzed letters, the lowest-latency letter is not the
+    // most-efficient letter.
+    let w = world();
+    let clean = preprocess(&w.ditl, &FilterOptions::default());
+    let users = w.users_by_prefix();
+    let inflation = root_inflation(&clean, &w.letters, &w.geolocator, &users);
+    let mut rows: Vec<(char, f64, f64)> = Vec::new();
+    for (letter, cdf) in &inflation.geo_per_letter {
+        let entry = w.letters.get(*letter);
+        let pings =
+            w.atlas.ping_deployment(&w.internet, &entry.deployment, &w.model, 3, 1);
+        let meds: Vec<f64> = pings.iter().filter_map(|(_, r)| median(r)).collect();
+        if let Some(m) = median(&meds) {
+            rows.push((letter.name(), m, efficiency(cdf)));
+        }
+    }
+    let fastest = rows
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("letters measured");
+    let most_efficient = rows
+        .iter()
+        .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
+        .expect("letters measured");
+    assert_ne!(
+        fastest.0, most_efficient.0,
+        "fastest letter {fastest:?} should not also be the most efficient {most_efficient:?}"
+    );
+}

@@ -1,0 +1,104 @@
+//! Shape targets for the local perspective (§4.3, Appendices B.2, D, E):
+//! caching hides the roots from users, /24s are routed coherently, and
+//! buggy resolvers generate mostly-redundant root traffic.
+
+use anycast_context::analysis::{favorite_site_miss_fractions, preprocess, FilterOptions};
+use anycast_context::core::experiments::local::redundancy_share;
+use anycast_context::{experiments, World, WorldConfig};
+
+fn world() -> World {
+    World::build(&WorldConfig { scale: 0.2, ..WorldConfig::paper(2021) })
+}
+
+#[test]
+fn most_24s_send_all_queries_to_their_favorite_site() {
+    let w = world();
+    let clean = preprocess(&w.ditl, &FilterOptions { keep_invalid: true });
+    let per_letter = favorite_site_miss_fractions(&clean);
+    assert!(!per_letter.is_empty());
+    for (letter, cdf) in &per_letter {
+        if cdf.len() < 20 {
+            continue; // tiny letters at this scale
+        }
+        // Fig. 10: >80% of /24s have every query on one site.
+        let single = cdf.intercept(1e-9);
+        assert!(single > 0.7, "{letter}: single-site share {single}");
+    }
+}
+
+#[test]
+fn resolver_cache_hides_the_roots_from_users() {
+    let w = world();
+    let artifacts = experiments::run("fig12", &w);
+    // fig13: the root-wait CDF — the overwhelming majority of user
+    // queries never wait on a root (paper: < 1%).
+    let root_wait = artifacts
+        .iter()
+        .find_map(|a| match a {
+            anycast_context::Artifact::Cdf { id, series, .. } if id == "fig13" => {
+                Some(series[0].1.clone())
+            }
+            _ => None,
+        })
+        .expect("fig13 produced");
+    assert!(
+        root_wait.fraction_at_most(0.001) > 0.95,
+        "root-wait-free share {}",
+        root_wait.fraction_at_most(0.001)
+    );
+    // fig12: a large share of queries are sub-millisecond cache hits
+    // (paper: roughly half).
+    let latency = artifacts
+        .iter()
+        .find_map(|a| match a {
+            anycast_context::Artifact::Cdf { id, series, .. } if id == "fig12" => {
+                Some(series[0].1.clone())
+            }
+            _ => None,
+        })
+        .expect("fig12 produced");
+    let cached = latency.fraction_at_most(1.0);
+    assert!((0.3..0.9).contains(&cached), "cached share {cached}");
+}
+
+#[test]
+fn shared_caches_miss_less_than_personal_ones() {
+    let w = world();
+    let artifacts = experiments::run("fig12", &w);
+    let table = artifacts
+        .iter()
+        .find_map(|a| match a {
+            anycast_context::Artifact::Table { id, rows, .. } if id == "missrates" => {
+                Some(rows.clone())
+            }
+            _ => None,
+        })
+        .expect("missrates produced");
+    let parse = |row: &Vec<String>| -> f64 {
+        row[2].trim_end_matches('%').parse::<f64>().expect("numeric miss rate")
+    };
+    let shared = parse(&table[0]);
+    let solo_a = parse(&table[1]);
+    // §4.3: the solo resolvers miss more (no shared cache), and both are
+    // small in absolute terms.
+    assert!(shared < solo_a, "shared {shared}% vs solo {solo_a}%");
+    assert!(shared < 5.0, "shared miss rate {shared}%");
+}
+
+#[test]
+fn buggy_resolvers_emit_mostly_redundant_root_traffic() {
+    let w = world();
+    // Appendix E: at ISI, 79.8% of root queries were redundant.
+    let share = redundancy_share(&w, 5.0);
+    assert!(share > 0.4, "redundant share {share}");
+}
+
+#[test]
+fn table5_trace_reproduces_the_bug_pattern() {
+    let w = world();
+    let artifacts = experiments::run("tab5", &w);
+    let text = artifacts[0].render_text();
+    assert!(text.contains("timeout"));
+    assert!(text.contains("redundant"));
+    assert!(text.contains("AAAA"));
+}
