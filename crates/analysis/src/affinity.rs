@@ -9,7 +9,7 @@
 use crate::preprocess::CleanDitl;
 use crate::stats::WeightedCdf;
 use dns::letters::Letter;
-use std::collections::HashMap;
+use par::DetHashMap as HashMap;
 use topology::{Prefix24, SiteId};
 
 
@@ -24,15 +24,15 @@ pub fn favorite_site_miss_fractions(clean: &CleanDitl) -> Vec<(Letter, WeightedC
         by_site: HashMap<SiteId, f64>,
         ips: std::collections::HashSet<u8>,
     }
-    let mut acc: HashMap<(Letter, Prefix24), Acc> = HashMap::new();
+    let mut acc: HashMap<(Letter, Prefix24), Acc> = HashMap::default();
     for row in &clean.rows {
         let a = acc
             .entry((row.letter, row.src.prefix))
-            .or_insert_with(|| Acc { by_site: HashMap::new(), ips: Default::default() });
+            .or_insert_with(|| Acc { by_site: HashMap::default(), ips: Default::default() });
         *a.by_site.entry(row.site).or_default() += row.queries_per_day;
         a.ips.insert(row.src.host);
     }
-    let mut per_letter: HashMap<Letter, Vec<(f64, f64)>> = HashMap::new();
+    let mut per_letter: HashMap<Letter, Vec<(f64, f64)>> = HashMap::default();
     for ((letter, _prefix), a) in acc {
         if a.ips.len() < 2 {
             continue;
@@ -148,12 +148,12 @@ pub fn site_affinity_over_windows(
     let window_ms = capture.window_hours() * 3_600_000.0 / n_windows as f64;
     // (prefix, letter) → per-window site counts.
     let mut counts: HashMap<(Prefix24, dns::letters::Letter), Vec<HashMap<SiteId, u32>>> =
-        HashMap::new();
+        HashMap::default();
     for (t, rec) in capture.iter() {
         let w = ((t.as_ms() / window_ms) as usize).min(n_windows - 1);
         let slot = counts
             .entry((rec.src.prefix, rec.letter))
-            .or_insert_with(|| vec![HashMap::new(); n_windows]);
+            .or_insert_with(|| vec![HashMap::default(); n_windows]);
         *slot[w].entry(rec.site).or_default() += 1;
     }
     let mut pairs = 0usize;

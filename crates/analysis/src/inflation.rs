@@ -26,7 +26,7 @@ use geo::latency::km_to_rtt_ms;
 use geo::region::RegionId;
 use geo::GeoPoint;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use par::DetHashMap as HashMap;
 use topology::gen::Internet;
 use topology::{AnycastDeployment, Asn, Prefix24, SiteId};
 use workload::geoloc::Geolocator;
@@ -74,11 +74,11 @@ pub fn root_inflation(
         tcp_volume: f64,
         tcp_rtt_weighted: f64,
     }
-    let mut acc: HashMap<(Letter, Prefix24), Acc> = HashMap::new();
+    let mut acc: HashMap<(Letter, Prefix24), Acc> = HashMap::default();
     for row in &clean.rows {
         let a = acc
             .entry((row.letter, row.src.prefix))
-            .or_insert_with(|| Acc { by_site: HashMap::new(), tcp_volume: 0.0, tcp_rtt_weighted: 0.0 });
+            .or_insert_with(|| Acc { by_site: HashMap::default(), tcp_volume: 0.0, tcp_rtt_weighted: 0.0 });
         *a.by_site.entry(row.site).or_default() += row.queries_per_day;
         if row.tcp {
             if let Some(rtt) = row.tcp_rtt_median_ms {
@@ -89,12 +89,12 @@ pub fn root_inflation(
     }
 
     // Geographic / latency inflation per (letter, prefix).
-    let mut geo_points: HashMap<Letter, Vec<(f64, f64)>> = HashMap::new();
-    let mut lat_points: HashMap<Letter, Vec<(f64, f64)>> = HashMap::new();
+    let mut geo_points: HashMap<Letter, Vec<(f64, f64)>> = HashMap::default();
+    let mut lat_points: HashMap<Letter, Vec<(f64, f64)>> = HashMap::default();
     // Per prefix: (Σ_j N_j · GI_j, Σ_j N_j) and the same for latency.
-    let mut all_geo: HashMap<Prefix24, (f64, f64, f64)> = HashMap::new(); // (Σ N·gi, Σ N, users)
-    let mut geo_by_letter_prefix: HashMap<(Letter, Prefix24), f64> = HashMap::new();
-    let mut all_lat: HashMap<Prefix24, (f64, f64, f64)> = HashMap::new();
+    let mut all_geo: HashMap<Prefix24, (f64, f64, f64)> = HashMap::default(); // (Σ N·gi, Σ N, users)
+    let mut geo_by_letter_prefix: HashMap<(Letter, Prefix24), f64> = HashMap::default();
+    let mut all_lat: HashMap<Prefix24, (f64, f64, f64)> = HashMap::default();
 
     for ((letter, prefix), a) in &acc {
         let root = letters.get(*letter);
@@ -192,7 +192,7 @@ pub fn cdn_inflation(
 ) -> CdnInflation {
     let mut geo_pts = Vec::new();
     let mut lat_pts = Vec::new();
-    let mut geo_by_location = HashMap::new();
+    let mut geo_by_location = HashMap::default();
     for rec in logs.ring(&ring.name) {
         let Some(users) = users_by_location.get(&(rec.region, rec.asn)).copied() else {
             continue;
@@ -261,14 +261,14 @@ mod tests {
             .iter_mut()
             .find(|l| l.meta.letter == Letter::C)
             .expect("C exists");
-        c.deployment = AnycastDeployment::new(
+        c.deployment = std::sync::Arc::new(AnycastDeployment::new(
             "C-fixture",
             vec![
                 AnycastSite { id: SiteId(0), name: "near".into(), host, location: near, scope: SiteScope::Global },
                 AnycastSite { id: SiteId(1), name: "far".into(), host, location: far, scope: SiteScope::Global },
             ],
             vec![],
-        );
+        ));
         let rloc = GeoPoint::new(0.0, 0.0);
         let prefix = Prefix24(7777);
         let geolocator = Geolocator::new(
@@ -328,7 +328,7 @@ mod tests {
             .iter_mut()
             .find(|l| l.meta.letter == Letter::K)
             .expect("K exists");
-        k.deployment = AnycastDeployment::new(
+        k.deployment = std::sync::Arc::new(AnycastDeployment::new(
             "K-fixture",
             vec![AnycastSite {
                 id: SiteId(0),
@@ -338,7 +338,7 @@ mod tests {
                 scope: SiteScope::Global,
             }],
             vec![],
-        );
+        ));
         let rloc = GeoPoint::new(0.0, 0.0);
         let prefix = Prefix24(8888);
         let geolocator = Geolocator::new(
@@ -383,14 +383,14 @@ mod tests {
             .iter_mut()
             .find(|l| l.meta.letter == Letter::C)
             .expect("C exists");
-        c.deployment = AnycastDeployment::new(
+        c.deployment = std::sync::Arc::new(AnycastDeployment::new(
             "C-fixture",
             vec![
                 AnycastSite { id: SiteId(0), name: "near".into(), host, location: near, scope: SiteScope::Global },
                 AnycastSite { id: SiteId(1), name: "far".into(), host, location: far, scope: SiteScope::Global },
             ],
             vec![],
-        );
+        ));
         let prefix = Prefix24(1234);
         let geolocator = Geolocator::new(
             vec![(prefix, GeoPoint::new(0.0, 0.0))],
@@ -438,7 +438,7 @@ mod tests {
             tcp_rtt_median_ms: None,
         }];
         let clean = CleanDitl { rows, stats: FilterStats::default() };
-        let result = root_inflation(&clean, &letters, &geolocator, &HashMap::new());
+        let result = root_inflation(&clean, &letters, &geolocator, &HashMap::default());
         assert!(result.geo_all_roots.is_empty());
     }
 }

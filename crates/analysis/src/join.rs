@@ -12,7 +12,7 @@
 use crate::preprocess::CleanDitl;
 use dns::query::QueryClass;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use par::DetHashMap as HashMap;
 use topology::{Asn, IpToAsnService, Ipv4Addr24, Prefix24};
 use workload::users::{ApnicUserCounts, CdnUserCounts};
 
@@ -72,7 +72,7 @@ fn row_volume(class: QueryClass, q: f64) -> f64 {
 /// Joins at /24 granularity (the paper's DITL∩CDN dataset).
 pub fn join_by_prefix(clean: &CleanDitl, counts: &CdnUserCounts) -> JoinedData {
     let users_by_prefix = counts.by_prefix();
-    let mut queries: HashMap<Prefix24, f64> = HashMap::new();
+    let mut queries: HashMap<Prefix24, f64> = HashMap::default();
     for row in &clean.rows {
         *queries.entry(row.src.prefix).or_default() +=
             row_volume(row.class, row.queries_per_day);
@@ -85,7 +85,7 @@ pub fn join_by_prefix(clean: &CleanDitl, counts: &CdnUserCounts) -> JoinedData {
 
 /// Joins at exact-IP granularity (the no-aggregation counterfactual).
 pub fn join_by_ip(clean: &CleanDitl, counts: &CdnUserCounts) -> JoinedData {
-    let mut queries: HashMap<Ipv4Addr24, f64> = HashMap::new();
+    let mut queries: HashMap<Ipv4Addr24, f64> = HashMap::default();
     for row in &clean.rows {
         *queries.entry(row.src).or_default() += row_volume(row.class, row.queries_per_day);
     }
@@ -103,7 +103,7 @@ pub fn join_by_asn(
     counts: &ApnicUserCounts,
     ip_to_asn: &IpToAsnService,
 ) -> (JoinedData, f64) {
-    let mut queries: HashMap<Asn, f64> = HashMap::new();
+    let mut queries: HashMap<Asn, f64> = HashMap::default();
     let mut total = 0.0;
     let mut mapped = 0.0;
     for row in &clean.rows {

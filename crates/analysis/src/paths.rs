@@ -9,7 +9,7 @@
 use crate::stats::{BoxStats, WeightedCdf};
 use netsim::TracerouteHop;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use par::DetHashMap as HashMap;
 use topology::{AsGraph, OrgId};
 
 /// Path lengths are reported as 2, 3, 4, or "5+" ASes in Fig. 6a and
@@ -126,7 +126,7 @@ impl PathLengthDist {
 pub fn inflation_by_path_length(
     obs: impl IntoIterator<Item = (usize, f64, f64)>,
 ) -> HashMap<PathLenClass, BoxStats> {
-    let mut groups: HashMap<PathLenClass, Vec<(f64, f64)>> = HashMap::new();
+    let mut groups: HashMap<PathLenClass, Vec<(f64, f64)>> = HashMap::default();
     for (len, infl, w) in obs {
         let mut class = PathLenClass::of(len);
         if class == PathLenClass::FivePlus {

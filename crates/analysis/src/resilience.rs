@@ -21,7 +21,7 @@ use crate::stats::WeightedCdf;
 use geo::GeoPoint;
 use netsim::{LastMile, LatencyModel, PathProfile};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use par::{DetHashMap as HashMap, DetHashSet as HashSet};
 use topology::{AnycastDeployment, AsGraph, Asn, Catchment, RouteCache, SiteId};
 
 /// A weighted traffic source: who sends, from where, how much.
@@ -100,7 +100,7 @@ pub fn simulate_attack(
     }
 
     let mut withdrawn: Vec<SiteId> = Vec::new();
-    let mut dead: HashSet<SiteId> = HashSet::new();
+    let mut dead: HashSet<SiteId> = HashSet::default();
     let mut rounds = 0;
     let total_users: f64 = users.iter().map(|u| u.load).sum();
     let (latency_after, unserved) = loop {
@@ -131,7 +131,7 @@ pub fn simulate_attack(
         let catchment = Catchment::compute(graph, &dep, &mut cache);
 
         // Load per (surviving) site.
-        let mut load: HashMap<SiteId, f64> = HashMap::new();
+        let mut load: HashMap<SiteId, f64> = HashMap::default();
         let mut latency_pts = Vec::new();
         let mut served = 0.0;
         for u in users {
@@ -267,7 +267,7 @@ mod tests {
         let total: f64 = users.iter().map(|u| u.load).sum();
         let mut cache = RouteCache::new();
         let catchment = Catchment::compute(&net.graph, &dep, &mut cache);
-        let mut load: HashMap<SiteId, f64> = HashMap::new();
+        let mut load: HashMap<SiteId, f64> = HashMap::default();
         for u in &users {
             if let Some(a) = catchment.assign(u.asn, &u.location) {
                 *load.entry(a.site).or_default() += u.load;

@@ -63,7 +63,11 @@ impl ServerSideLogs {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5e2e_51de_10c5_ab1e);
         let mut records = Vec::new();
         for ring in &cdn.rings {
-            let catchment = Catchment::compute(&internet.graph, &ring.deployment, &mut cache);
+            let catchment = Catchment::compute_shared(
+                &internet.graph,
+                std::sync::Arc::clone(&ring.deployment),
+                &mut cache,
+            );
             for loc in internet.user_locations() {
                 let user_point = internet.world.region(loc.region).center;
                 let Some(assignment) = catchment.assign(loc.asn, &user_point) else {

@@ -56,7 +56,11 @@ impl ClientMeasurements {
         const SERVER_MS: f64 = 0.8;
         let mut rows = Vec::new();
         for ring in &cdn.rings {
-            let catchment = Catchment::compute(&internet.graph, &ring.deployment, &mut cache);
+            let catchment = Catchment::compute_shared(
+                &internet.graph,
+                std::sync::Arc::clone(&ring.deployment),
+                &mut cache,
+            );
             for loc in internet.user_locations() {
                 let user_point = internet.world.region(loc.region).center;
                 let Some(assignment) = catchment.assign(loc.asn, &user_point) else {

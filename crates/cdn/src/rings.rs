@@ -9,6 +9,7 @@
 
 use geo::region::RegionId;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use topology::gen::{ContentAsSpec, Internet};
 use topology::{AnycastDeployment, AnycastSite, Asn, SiteId, SiteScope};
 
@@ -57,7 +58,8 @@ pub struct Ring {
     /// Number of front-ends in this ring (after scaling).
     pub size: usize,
     /// The ring's anycast deployment (all sites hosted by the CDN AS).
-    pub deployment: AnycastDeployment,
+    /// Shared so catchments and the parallel layer never deep-clone it.
+    pub deployment: Arc<AnycastDeployment>,
 }
 
 /// The built CDN.
@@ -129,7 +131,11 @@ impl Cdn {
                 Ring {
                     name: format!("R{paper_size}"),
                     size,
-                    deployment: AnycastDeployment::new(format!("R{paper_size}"), sites, vec![]),
+                    deployment: Arc::new(AnycastDeployment::new(
+                        format!("R{paper_size}"),
+                        sites,
+                        vec![],
+                    )),
                 }
             })
             .collect();

@@ -3,14 +3,18 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--seed N] [--scale F] [--year 2018|2020] [--out DIR] [ids…|all]
+//! repro [--seed N] [--scale F] [--year 2018|2020] [--threads N] [--out DIR] [ids…|all]
 //! ```
 //!
-//! Each artifact prints to stdout and, with `--out`, is also written as
-//! CSV for plotting.
+//! Experiments run concurrently on the deterministic parallel layer
+//! (`par`); output is buffered and emitted in id order, so the text and
+//! CSV artifacts are byte-identical at any `--threads` value. Each
+//! artifact prints to stdout and, with `--out`, is also written as CSV
+//! for plotting, alongside a `timings.json` performance record (the one
+//! output that legitimately varies run to run).
 
 use anycast_core::experiments::{run, ALL_IDS};
-use anycast_core::{World, WorldConfig};
+use anycast_core::{Artifact, World, WorldConfig};
 use std::io::Write;
 
 fn main() {
@@ -18,6 +22,7 @@ fn main() {
     let mut seed = 2021u64;
     let mut scale = 0.5f64;
     let mut year = 2018u16;
+    let mut threads = 0usize; // 0 = available parallelism
     let mut out_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
@@ -34,6 +39,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a float in (0,1]"))
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a non-negative integer"))
+            }
             "--out" => {
                 out_dir = Some(args.next().unwrap_or_else(|| die("--out needs a directory")))
             }
@@ -45,7 +56,9 @@ fn main() {
                     .unwrap_or_else(|| die("--year must be 2018 or 2020"))
             }
             "--help" | "-h" => {
-                println!("repro [--seed N] [--scale F] [--year 2018|2020] [--out DIR] [ids…|all]");
+                println!(
+                    "repro [--seed N] [--scale F] [--year 2018|2020] [--threads N] [--out DIR] [ids…|all]"
+                );
                 println!("ids: {}", ALL_IDS.join(" "));
                 return;
             }
@@ -60,9 +73,13 @@ fn main() {
             die(&format!("unknown experiment {id:?}; known: {}", ALL_IDS.join(" ")));
         }
     }
+    par::set_threads(threads);
 
     let config = WorldConfig { seed, scale, year, ..WorldConfig::paper(seed) };
-    eprintln!("building world (seed={seed}, scale={scale}, year={year}) …");
+    eprintln!(
+        "building world (seed={seed}, scale={scale}, year={year}, threads={}) …",
+        par::threads()
+    );
     let t0 = std::time::Instant::now();
     let world = World::build(&config);
     eprintln!("world ready in {:.1}s", t0.elapsed().as_secs_f64());
@@ -70,10 +87,20 @@ fn main() {
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
-    for id in &ids {
+
+    // Run the registry concurrently; results come back in id order, so
+    // the streamed output below is identical to a sequential run.
+    let t_run = std::time::Instant::now();
+    let results: Vec<(Vec<Artifact>, f64)> = par::ordered_map(&ids, |_, id| {
         let t = std::time::Instant::now();
         let artifacts = run(id, &world);
-        for artifact in &artifacts {
+        (artifacts, t.elapsed().as_secs_f64())
+    });
+    let run_secs = t_run.elapsed().as_secs_f64();
+
+    let mut timings: Vec<(String, f64, usize)> = Vec::new();
+    for (id, (artifacts, secs)) in ids.iter().zip(&results) {
+        for artifact in artifacts {
             println!("{}", artifact.render_text());
             if let Some(dir) = &out_dir {
                 let path = format!("{dir}/{}.csv", artifact.id());
@@ -81,8 +108,46 @@ fn main() {
                 f.write_all(artifact.render_csv().as_bytes()).expect("write CSV");
             }
         }
-        eprintln!("[{id}] done in {:.1}s", t.elapsed().as_secs_f64());
+        eprintln!("[{id}] done in {secs:.1}s");
+        let items: usize = artifacts.iter().map(artifact_items).sum();
+        timings.push((id.clone(), *secs, items));
     }
+
+    if let Some(dir) = &out_dir {
+        let path = format!("{dir}/timings.json");
+        std::fs::write(&path, render_timings(&timings, par::threads(), run_secs))
+            .expect("write timings.json");
+        eprintln!("timings → {path}");
+    }
+    eprintln!("all experiments done in {run_secs:.1}s (threads={})", par::threads());
+}
+
+/// Number of data items an artifact carries, for items/sec reporting.
+fn artifact_items(a: &Artifact) -> usize {
+    match a {
+        Artifact::Cdf { series, .. } => series.iter().map(|(_, c)| c.len()).sum(),
+        Artifact::Table { rows, .. } => rows.len(),
+        Artifact::Scatter { points, .. } => points.len(),
+        Artifact::Text { body, .. } => body.lines().count(),
+        Artifact::Boxes { groups, .. } => groups.iter().map(|(_, g)| g.len()).sum(),
+    }
+}
+
+/// Hand-rendered JSON (the build is offline; no serde_json available).
+fn render_timings(timings: &[(String, f64, usize)], threads: usize, total_secs: f64) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"total_secs\": {total_secs:.3},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, (id, secs, items)) in timings.iter().enumerate() {
+        let rate = if *secs > 0.0 { *items as f64 / secs } else { 0.0 };
+        s.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"secs\": {secs:.3}, \"items\": {items}, \"items_per_sec\": {rate:.1}}}{}\n",
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 fn die(msg: &str) -> ! {

@@ -139,8 +139,8 @@ pub fn appc(world: &World) -> Vec<Artifact> {
 pub fn fig14(world: &World) -> Vec<Artifact> {
     let ring = world.cdn.largest_ring();
     // Mean of per-⟨region,AS⟩ median RTTs, per region, normalized.
-    use std::collections::HashMap;
-    let mut acc: HashMap<geo::region::RegionId, (f64, f64)> = HashMap::new();
+    use par::DetHashMap as HashMap;
+    let mut acc: HashMap<geo::region::RegionId, (f64, f64)> = HashMap::default();
     for rec in world.server_logs.ring(&ring.name) {
         let e = acc.entry(rec.region).or_insert((0.0, 0.0));
         e.0 += rec.median_rtt_ms;

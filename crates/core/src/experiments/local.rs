@@ -4,10 +4,55 @@
 use crate::artifact::Artifact;
 use crate::world::World;
 use analysis::WeightedCdf;
-use dns::resolver::{RecursiveResolver, ResolverConfig, ResolverEvent, UpstreamRtts};
+use dns::resolver::{
+    CampaignStats, RecursiveResolver, ResolverConfig, ResolverEvent, UpstreamRtts,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workload::{BrowseConfig, BrowseGenerator};
+
+/// User-population shard size for the parallel resolver campaigns. The
+/// shard count depends only on the user count — never on the thread
+/// count — so merged results are identical at any parallelism level.
+const SHARD_USERS: usize = 10;
+
+/// Splits `users` into fixed-size shards, replays each shard's browsing
+/// workload through its own fresh resolver (workload and resolver seeds
+/// derived per shard), and merges the stats in shard index order.
+fn sharded_campaign(
+    world: &World,
+    users: usize,
+    days: f64,
+    seed: u64,
+    rtts: &UpstreamRtts,
+    config: &ResolverConfig,
+) -> CampaignStats {
+    let n_shards = users.div_ceil(SHARD_USERS).max(1);
+    let base = users / n_shards;
+    let extra = users % n_shards;
+    let shard_sizes: Vec<usize> =
+        (0..n_shards).map(|i| base + usize::from(i < extra)).collect();
+    let per_shard = par::ordered_map(&shard_sizes, |i, &n| {
+        let shard_seed = par::seed_for(seed, i as u64);
+        let mut generator = BrowseGenerator::new(
+            BrowseConfig { users: n, ..BrowseConfig::default() },
+            &world.zone,
+            shard_seed,
+        );
+        let events = generator.generate(days, &world.zone);
+        let mut resolver = RecursiveResolver::new(
+            config.clone(),
+            rtts.clone(),
+            StdRng::seed_from_u64(shard_seed),
+        );
+        resolver.drive(events.iter().map(|e| (e.t, &e.query)), &world.zone)
+    });
+    let mut stats = CampaignStats::default();
+    for shard in per_shard {
+        stats.merge(shard);
+    }
+    stats
+}
 
 /// Runs a resolver over a browsing workload and collects per-query
 /// latency and root-wait distributions plus the miss rate.
@@ -17,34 +62,19 @@ fn run_resolver_experiment(
     days: f64,
     seed: u64,
 ) -> (WeightedCdf, WeightedCdf, f64) {
-    let mut generator = BrowseGenerator::new(
-        BrowseConfig { users, ..BrowseConfig::default() },
-        &world.zone,
-        seed,
-    );
-    let events = generator.generate(days, &world.zone);
     // Upstream RTTs: the ISI-like resolver sits in a well-connected US
     // eyeball; per-letter RTTs spread realistically.
     let mut rtts = UpstreamRtts::uniform(0.0, 18.0, 35.0);
     for (i, (_, r)) in rtts.root_rtt_ms.iter_mut().enumerate() {
         *r = 12.0 + 23.0 * i as f64; // 12 ms (nearby letter) … 290 ms
     }
-    let mut resolver = RecursiveResolver::new(
-        ResolverConfig::default(),
-        rtts,
-        StdRng::seed_from_u64(seed),
-    );
-    let mut latencies = Vec::with_capacity(events.len());
-    let mut root_waits = Vec::with_capacity(events.len());
-    for e in &events {
-        let res = resolver.resolve(e.t, &e.query, &world.zone);
-        latencies.push((res.user_latency_ms, 1.0));
-        root_waits.push((res.root_wait_ms, 1.0));
-    }
+    let stats =
+        sharded_campaign(world, users, days, seed, &rtts, &ResolverConfig::default());
+    let miss = stats.miss_rate();
     (
-        WeightedCdf::from_points(latencies),
-        WeightedCdf::from_points(root_waits),
-        resolver.root_cache_miss_rate(),
+        WeightedCdf::from_points(stats.latencies),
+        WeightedCdf::from_points(stats.root_waits),
+        miss,
     )
 }
 
@@ -117,7 +147,18 @@ pub fn tab5(world: &World) -> Vec<Artifact> {
     }
     let mut resolver =
         RecursiveResolver::new(config, rtts, StdRng::seed_from_u64(world.config.seed));
-    let query = dns::QueryName::valid_host("bidder.criteo", "com");
+    // The Appendix E pathology needs a TLD whose referrals lack full
+    // AAAA glue; which TLDs those are is a seeded draw, so pick the most
+    // popular qualifying one rather than hard-coding "com".
+    let tld_name = world
+        .zone
+        .tlds()
+        .iter()
+        .filter(|t| !t.full_aaaa_glue)
+        .max_by(|a, b| a.popularity.total_cmp(&b.popularity))
+        .map(|t| t.name.clone())
+        .unwrap_or_else(|| "com".to_string());
+    let query = dns::QueryName::valid_host("bidder.criteo", &tld_name);
     let res = resolver.resolve(netsim::SimTime::ZERO, &query, &world.zone);
 
     let mut rows: Vec<Vec<String>> = vec![vec![
@@ -189,33 +230,14 @@ pub fn tab5(world: &World) -> Vec<Artifact> {
 /// §4.3's redundancy share at scale: what fraction of root queries from a
 /// BIND-like resolver are redundant (the paper measured 79.8% at ISI).
 pub fn redundancy_share(world: &World, days: f64) -> f64 {
-    let mut generator = BrowseGenerator::new(
-        BrowseConfig { users: 100, ..BrowseConfig::default() },
-        &world.zone,
-        world.config.seed ^ 0x4ed,
-    );
-    let events = generator.generate(days, &world.zone);
     let rtts = UpstreamRtts::uniform(40.0, 18.0, 35.0);
-    let mut resolver = RecursiveResolver::new(
-        ResolverConfig::default(),
-        rtts,
-        StdRng::seed_from_u64(world.config.seed ^ 0x4ed),
+    let stats = sharded_campaign(
+        world,
+        100,
+        days,
+        world.config.seed ^ 0x4ed,
+        &rtts,
+        &ResolverConfig::default(),
     );
-    let mut total = 0u64;
-    let mut redundant = 0u64;
-    for e in &events {
-        for ev in resolver.resolve(e.t, &e.query, &world.zone).events {
-            if let ResolverEvent::RootQuery { redundant: r, .. } = ev {
-                total += 1;
-                if r {
-                    redundant += 1;
-                }
-            }
-        }
-    }
-    if total == 0 {
-        0.0
-    } else {
-        redundant as f64 / total as f64
-    }
+    stats.redundancy_share()
 }

@@ -6,7 +6,7 @@ use crate::world::World;
 use analysis::paths::{inflation_by_path_length, org_path_length, PathLenClass, PathLengthDist};
 use analysis::{cdn_inflation, coverage_cdf, median, WeightedCdf};
 use dns::letters::Letter;
-use std::collections::HashMap;
+use par::DetHashMap as HashMap;
 use topology::AnycastDeployment;
 
 /// Per-⟨region, AS⟩ path lengths toward a deployment, from traceroutes.
@@ -23,7 +23,7 @@ fn path_lengths_to(
     );
     // Most common length per ⟨region, AS⟩ (the paper's rule).
     let mut lengths: HashMap<(geo::region::RegionId, topology::Asn), Vec<usize>> =
-        HashMap::new();
+        HashMap::default();
     for (probe, hops) in &routes {
         let len = org_path_length(hops, &world.internet.graph);
         if len >= 1 {

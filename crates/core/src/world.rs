@@ -15,7 +15,7 @@ use dns::{DnsHierarchy, LetterSet};
 use geo::region::RegionId;
 use netsim::LatencyModel;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use par::DetHashMap as HashMap;
 use topology::gen::Internet;
 use topology::{Asn, IpToAsnService, InternetGenerator, Prefix24, TopologyConfig};
 use workload::{
@@ -195,7 +195,7 @@ impl World {
     /// Users per ⟨region, AS⟩ location (ground truth weights for the
     /// CDN-side analyses).
     pub fn users_by_location(&self) -> HashMap<(RegionId, Asn), f64> {
-        let mut out: HashMap<(RegionId, Asn), f64> = HashMap::new();
+        let mut out: HashMap<(RegionId, Asn), f64> = HashMap::default();
         for l in &self.population.locations {
             *out.entry((l.region, l.asn)).or_default() += l.users;
         }

@@ -26,6 +26,7 @@ use geo::GeoPoint;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use topology::gen::{ContentAsSpec, Internet};
+use std::sync::Arc;
 use topology::{
     AnycastDeployment, AnycastSite, AsKind, Catchment, RouteCache, SiteId, SiteScope,
 };
@@ -36,8 +37,8 @@ use topology::{
 pub struct TldPlatform {
     /// Platform name (e.g. `"com-platform"`).
     pub name: String,
-    /// The anycast deployment.
-    pub deployment: AnycastDeployment,
+    /// The anycast deployment (shared, never deep-cloned).
+    pub deployment: Arc<AnycastDeployment>,
     /// Indices into the root zone's TLD list served by this platform.
     pub tlds: Vec<usize>,
 }
@@ -92,7 +93,7 @@ impl DnsHierarchy {
         let com_platform = platforms.len();
         platforms.push(TldPlatform {
             name: "com-platform".into(),
-            deployment: AnycastDeployment::new("com-platform", sites, vec![]),
+            deployment: Arc::new(AnycastDeployment::new("com-platform", sites, vec![])),
             tlds: Vec::new(),
         });
         for idx in 0..3.min(zone.len()) {
@@ -136,11 +137,11 @@ impl DnsHierarchy {
             let idx = platforms.len();
             platforms.push(TldPlatform {
                 name: format!("cctld-{}", continent.name()),
-                deployment: AnycastDeployment::new(
+                deployment: Arc::new(AnycastDeployment::new(
                     format!("cctld-{}", continent.name()),
                     sites,
                     vec![],
-                ),
+                )),
                 tlds: Vec::new(),
             });
             continent_platforms.push((continent, idx));
@@ -170,7 +171,7 @@ impl DnsHierarchy {
         let tail_platform = platforms.len();
         platforms.push(TldPlatform {
             name: "gtld-tail".into(),
-            deployment: AnycastDeployment::new("gtld-tail", tail_sites, vec![]),
+            deployment: Arc::new(AnycastDeployment::new("gtld-tail", tail_sites, vec![])),
             tlds: Vec::new(),
         });
         for slot in platform_of_tld.iter_mut() {
@@ -198,7 +199,11 @@ impl DnsHierarchy {
     ) -> Vec<f64> {
         let mut per_platform = Vec::with_capacity(self.platforms.len());
         for platform in &self.platforms {
-            let catchment = Catchment::compute(&internet.graph, &platform.deployment, cache);
+            let catchment = Catchment::compute_shared(
+                &internet.graph,
+                Arc::clone(&platform.deployment),
+                cache,
+            );
             let rtt = catchment
                 .assign(asn, location)
                 .map(|a| {

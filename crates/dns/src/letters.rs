@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use topology::gen::Internet;
 use topology::{AnycastDeployment, AnycastSite, AsKind, Asn, SiteId, SiteScope};
 
@@ -155,8 +156,9 @@ impl LetterMeta {
 pub struct RootLetter {
     /// Census/availability metadata.
     pub meta: LetterMeta,
-    /// The deployed sites.
-    pub deployment: AnycastDeployment,
+    /// The deployed sites (shared: catchment computation and the
+    /// parallel layer hold references without deep-cloning).
+    pub deployment: Arc<AnycastDeployment>,
 }
 
 /// All thirteen letters for one DITL year.
@@ -237,7 +239,7 @@ impl LetterSet {
                     tcp_ok,
                 };
                 let deployment =
-                    build_deployment(internet, &meta, &mut rng);
+                    Arc::new(build_deployment(internet, &meta, &mut rng));
                 RootLetter { meta, deployment }
             })
             .collect();

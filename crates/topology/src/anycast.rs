@@ -22,8 +22,9 @@ use crate::graph::AsGraph;
 use crate::waypoints;
 use geo::GeoPoint;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Identifier of a site within one deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -159,9 +160,18 @@ impl SiteAssignment {
 }
 
 /// Memoizes per-origin BGP computations across deployments.
+///
+/// Withhold lists are interned once as canonical sorted keys, so cache
+/// lookups never clone a `Vec<Asn>` and permutations of the same
+/// withheld set share one entry. Routes are behind `Arc` so catchments
+/// can cross thread boundaries in the deterministic parallel layer.
 #[derive(Debug, Default)]
 pub struct RouteCache {
-    map: HashMap<(Asn, ExportScope, Vec<Asn>), Rc<OriginRoutes>>,
+    /// Canonical (sorted) withhold list → interned key.
+    withhold_keys: HashMap<Box<[Asn]>, u32>,
+    /// Interned key → canonical withhold list (for cache misses).
+    withhold_lists: Vec<Arc<[Asn]>>,
+    map: HashMap<(Asn, ExportScope, u32), Arc<OriginRoutes>>,
 }
 
 impl RouteCache {
@@ -170,21 +180,104 @@ impl RouteCache {
         Self::default()
     }
 
+    /// Interns `withhold` under its canonical sorted form. Sorting is
+    /// sound because a withhold list is a *set* of neighbors.
+    fn intern_withhold(&mut self, withhold: &[Asn]) -> u32 {
+        let canonical: Cow<'_, [Asn]> = if withhold.windows(2).all(|w| w[0] <= w[1]) {
+            Cow::Borrowed(withhold)
+        } else {
+            let mut v = withhold.to_vec();
+            v.sort_unstable();
+            Cow::Owned(v)
+        };
+        if let Some(&k) = self.withhold_keys.get(canonical.as_ref()) {
+            return k;
+        }
+        let k = self.withhold_lists.len() as u32;
+        self.withhold_lists.push(Arc::from(canonical.as_ref()));
+        self.withhold_keys.insert(canonical.into_owned().into_boxed_slice(), k);
+        k
+    }
+
     fn get(
         &mut self,
         graph: &AsGraph,
         origin: Asn,
         scope: ExportScope,
         withhold: &[Asn],
-    ) -> Rc<OriginRoutes> {
-        let key = (origin, scope, withhold.to_vec());
+    ) -> Arc<OriginRoutes> {
+        let wk = self.intern_withhold(withhold);
+        let key = (origin, scope, wk);
         if let Some(r) = self.map.get(&key) {
-            return Rc::clone(r);
+            return Arc::clone(r);
         }
+        let canonical = Arc::clone(&self.withhold_lists[wk as usize]);
         let routes =
-            Rc::new(RouteComputer::new(graph).routes_from_origin(origin, scope, withhold));
-        self.map.insert(key, Rc::clone(&routes));
+            Arc::new(RouteComputer::new(graph).routes_from_origin(origin, scope, &canonical));
+        self.map.insert(key, Arc::clone(&routes));
         routes
+    }
+
+    /// Computes any missing origin-route tables among `keys` on the
+    /// deterministic parallel layer ([`par::ordered_map`]). Results are
+    /// identical to issuing the same lookups sequentially — only the
+    /// wall-clock changes — so callers may prefill across whole
+    /// letter/ring sets before assigning catchments.
+    pub fn prefill<'w>(
+        &mut self,
+        graph: &AsGraph,
+        keys: impl IntoIterator<Item = (Asn, ExportScope, &'w [Asn])>,
+    ) {
+        let mut missing: Vec<(Asn, ExportScope, u32)> = Vec::new();
+        for (origin, scope, withhold) in keys {
+            let wk = self.intern_withhold(withhold);
+            let key = (origin, scope, wk);
+            if !self.map.contains_key(&key) && !missing.contains(&key) {
+                missing.push(key);
+            }
+        }
+        let lists = &self.withhold_lists;
+        let computed = par::ordered_map(&missing, |_, &(origin, scope, wk)| {
+            RouteComputer::new(graph).routes_from_origin(origin, scope, &lists[wk as usize])
+        });
+        for (key, routes) in missing.into_iter().zip(computed) {
+            self.map.insert(key, Arc::new(routes));
+        }
+    }
+
+    /// Prefills origin routes for several deployments at once: the
+    /// union of their missing ⟨host, scope⟩ origins fans out over one
+    /// deterministic parallel map, so a whole letter set or ring
+    /// ladder is computed with maximal width before any catchment is
+    /// assigned.
+    pub fn prefill_deployments<'d>(
+        &mut self,
+        graph: &AsGraph,
+        deployments: impl IntoIterator<Item = &'d AnycastDeployment>,
+    ) {
+        let mut keys: Vec<(Asn, ExportScope, &'d [Asn])> = Vec::new();
+        for dep in deployments {
+            let mut origins: Vec<(Asn, ExportScope)> = dep
+                .sites
+                .iter()
+                .map(|s| {
+                    let scope = match s.scope {
+                        SiteScope::Global => ExportScope::Global,
+                        SiteScope::Local => ExportScope::Local,
+                    };
+                    (s.host, scope)
+                })
+                .collect();
+            if let Some(origin) = dep.origin_as {
+                if graph.get(origin).is_some() {
+                    origins.push((origin, ExportScope::Global));
+                }
+            }
+            origins.sort_by_key(|(a, s)| (*a, matches!(s, ExportScope::Local)));
+            origins.dedup();
+            keys.extend(origins.into_iter().map(|(a, s)| (a, s, dep.withhold.as_slice())));
+        }
+        self.prefill(graph, keys);
     }
 
     /// Number of memoized origin computations.
@@ -203,25 +296,39 @@ impl RouteCache {
 #[derive(Debug, Clone)]
 struct OriginGroup {
     host: Asn,
-    routes: Rc<OriginRoutes>,
+    routes: Arc<OriginRoutes>,
     /// Sites announced by this origin under this scope.
     sites: Vec<SiteId>,
 }
 
-/// Computed catchments of one deployment over one graph.
+/// Computed catchments of one deployment over one graph. `Send + Sync`:
+/// the deterministic parallel layer shards assignment work across
+/// threads against one shared catchment.
 #[derive(Debug)]
 pub struct Catchment<'g> {
     graph: &'g AsGraph,
-    deployment: AnycastDeployment,
+    deployment: Arc<AnycastDeployment>,
     groups: Vec<OriginGroup>,
 }
 
 impl<'g> Catchment<'g> {
     /// Computes catchments for `deployment`, memoizing origin routes in
-    /// `cache`.
+    /// `cache`. Convenience wrapper over [`Catchment::compute_shared`]
+    /// for callers holding a plain reference.
     pub fn compute(
         graph: &'g AsGraph,
         deployment: &AnycastDeployment,
+        cache: &mut RouteCache,
+    ) -> Self {
+        Self::compute_shared(graph, Arc::new(deployment.clone()), cache)
+    }
+
+    /// Computes catchments for a shared `deployment` without cloning it.
+    /// Any origin routes missing from `cache` are computed on the
+    /// deterministic parallel layer.
+    pub fn compute_shared(
+        graph: &'g AsGraph,
+        deployment: Arc<AnycastDeployment>,
         cache: &mut RouteCache,
     ) -> Self {
         // Group sites by (host, scope): one BGP computation per group.
@@ -235,12 +342,18 @@ impl<'g> Catchment<'g> {
         }
         let mut keys: Vec<_> = grouped.keys().copied().collect();
         keys.sort_by_key(|(a, s)| (*a, matches!(s, ExportScope::Local)));
+        // One parallel fan-out over every missing origin, then all the
+        // `get` calls below are cache hits.
+        cache.prefill(
+            graph,
+            keys.iter().map(|&(host, scope)| (host, scope, deployment.withhold.as_slice())),
+        );
         let mut groups: Vec<OriginGroup> = keys
             .into_iter()
             .map(|(host, scope)| OriginGroup {
                 host,
                 routes: cache.get(graph, host, scope, &deployment.withhold),
-                sites: grouped[&(host, scope)].clone(),
+                sites: std::mem::take(grouped.get_mut(&(host, scope)).expect("grouped key")),
             })
             .collect();
         // The origin AS itself announces every site over its own
@@ -255,12 +368,17 @@ impl<'g> Catchment<'g> {
                 });
             }
         }
-        Self { graph, deployment: deployment.clone(), groups }
+        Self { graph, deployment, groups }
     }
 
     /// The deployment this catchment was computed for.
     pub fn deployment(&self) -> &AnycastDeployment {
         &self.deployment
+    }
+
+    /// Shared handle to the deployment.
+    pub fn deployment_arc(&self) -> Arc<AnycastDeployment> {
+        Arc::clone(&self.deployment)
     }
 
     /// The site BGP selects for traffic from AS `src` at `user_loc`, or

@@ -154,8 +154,10 @@ impl<'g> RouteComputer<'g> {
         let g = self.graph;
         let n = g.len();
         let oi = g.idx(origin);
-        let withheld: Vec<usize> = withhold.iter().map(|a| g.idx(*a)).collect();
-        let blocked = |from: usize, to: usize| from == oi && withheld.contains(&to);
+        let mut withheld: Vec<usize> = withhold.iter().map(|a| g.idx(*a)).collect();
+        withheld.sort_unstable();
+        let blocked =
+            |from: usize, to: usize| from == oi && withheld.binary_search(&to).is_ok();
 
         let mut per_node: Vec<Option<NodeRoute>> = vec![None; n];
         per_node[oi] = Some(NodeRoute { class: RouteClass::Origin, path_len: 1, first_hops: vec![] });

@@ -148,8 +148,16 @@ impl DitlDataset {
         model: &LatencyModel,
         config: &DitlConfig,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xd171_2018_0410_0000);
+        let campaign_seed = config.seed ^ 0xd171_2018_0410_0000;
         let mut cache = RouteCache::new();
+
+        // One wide parallel fan-out over every letter's origin routes,
+        // then the per-letter catchment computations below are pure
+        // cache hits.
+        cache.prefill_deployments(
+            &internet.graph,
+            letters.letters.iter().map(|l| l.deployment.as_ref()),
+        );
 
         // Catchments for all letters (weights need RTTs to all 13, even
         // those whose captures we can't read).
@@ -160,7 +168,11 @@ impl DitlDataset {
                 let captured = l.meta.in_ditl && !l.meta.fully_anonymized;
                 (
                     l.meta.letter,
-                    Catchment::compute(&internet.graph, &l.deployment, &mut cache),
+                    Catchment::compute_shared(
+                        &internet.graph,
+                        std::sync::Arc::clone(&l.deployment),
+                        &mut cache,
+                    ),
                     captured,
                 )
             })
@@ -171,11 +183,19 @@ impl DitlDataset {
             .map(|(l, _, _)| *l)
             .collect();
 
-        let mut rows: Vec<DitlRow> = Vec::new();
+        // The campaign shards per recursive on the deterministic
+        // parallel layer: shard `i` draws from an RNG seeded by
+        // `seed_for(campaign_seed, i)` and produces its own rows, which
+        // merge back in recursive order — so the dataset is bit-identical
+        // for any thread count.
         let n_recursives = population.recursives.len();
-        for rec in &population.recursives {
+        let sharded: Vec<Vec<DitlRow>> =
+            par::ordered_map(&population.recursives, |rec_idx, rec| {
+            let mut rows: Vec<DitlRow> = Vec::new();
+            let mut rng =
+                StdRng::seed_from_u64(par::seed_for(campaign_seed, rec_idx as u64));
             if rec.users <= 0.0 {
-                continue;
+                return rows;
             }
             // --- per-recursive routing and RTTs toward every letter ----
             let mut per_letter: Vec<(Letter, Vec<SiteAssignment>, f64, bool)> = Vec::new();
@@ -191,7 +211,7 @@ impl DitlDataset {
                 per_letter.push((*letter, ranked, rtt, *captured));
             }
             if per_letter.is_empty() {
-                continue;
+                return rows;
             }
             let weights = letter_weights(
                 &per_letter.iter().map(|(l, _, r, _)| (*l, *r)).collect::<Vec<_>>(),
@@ -302,7 +322,9 @@ impl DitlDataset {
                     }
                 }
             }
-        }
+            rows
+        });
+        let mut rows: Vec<DitlRow> = sharded.into_iter().flatten().collect();
 
         // --- private-space background noise, spread over letters -------
         let total: f64 = rows.iter().map(|r| r.queries_per_day).sum();

@@ -22,7 +22,7 @@ use geo::GeoPoint;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use par::DetHashMap as HashMap;
 use topology::gen::{ContentAsSpec, Internet};
 use topology::{Asn, Ipv4Addr24, Prefix24};
 
@@ -143,7 +143,7 @@ impl UserPopulation {
         // Recursives: one /24 per eyeball AS (its first prefix), plus the
         // public service's prefixes at each of its PoPs.
         let mut recursives: Vec<Recursive> = Vec::new();
-        let mut by_asn: HashMap<Asn, RecursiveId> = HashMap::new();
+        let mut by_asn: HashMap<Asn, RecursiveId> = HashMap::default();
         for (asn, _regions) in internet.eyeballs.clone() {
             let node = internet.graph.node(asn);
             let prefix = node.prefixes[0];
@@ -186,7 +186,7 @@ impl UserPopulation {
         let total_weight: f64 = internet.world.total_population_weight();
         let mut locations: Vec<LocationUsers> = Vec::new();
         // Count eyeballs per region to split weight.
-        let mut region_shares: HashMap<RegionId, Vec<(Asn, f64)>> = HashMap::new();
+        let mut region_shares: HashMap<RegionId, Vec<(Asn, f64)>> = HashMap::default();
         for (asn, regions) in &internet.eyeballs {
             for r in regions {
                 region_shares.entry(*r).or_default().push((*asn, rng.gen_range(0.2..1.0)));
@@ -246,7 +246,7 @@ impl UserPopulation {
     pub fn cdn_user_counts(&self, seed: u64) -> CdnUserCounts {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xc0de_ba5e_0000_0001);
         use rand::SeedableRng as _;
-        let mut by_ip: HashMap<Ipv4Addr24, f64> = HashMap::new();
+        let mut by_ip: HashMap<Ipv4Addr24, f64> = HashMap::default();
         for rec in &self.recursives {
             if rng.gen_bool(self.config.cdn_blind_spot) {
                 continue; // never observed by the CDN
@@ -306,11 +306,11 @@ impl UserPopulation {
     pub fn apnic_user_counts(&self, seed: u64) -> ApnicUserCounts {
         use rand::SeedableRng as _;
         let mut rng = StdRng::seed_from_u64(seed ^ 0xc0de_ba5e_0000_0002);
-        let mut truth: HashMap<Asn, f64> = HashMap::new();
+        let mut truth: HashMap<Asn, f64> = HashMap::default();
         for loc in &self.locations {
             *truth.entry(loc.asn).or_default() += loc.users;
         }
-        let mut by_asn: HashMap<Asn, f64> = HashMap::new();
+        let mut by_asn: HashMap<Asn, f64> = HashMap::default();
         let mut asns: Vec<Asn> = truth.keys().copied().collect();
         asns.sort();
         for asn in asns {
@@ -355,7 +355,7 @@ pub struct CdnUserCounts {
 impl CdnUserCounts {
     /// Aggregates to /24 granularity (the DITL∩CDN join key).
     pub fn by_prefix(&self) -> HashMap<Prefix24, f64> {
-        let mut out: HashMap<Prefix24, f64> = HashMap::new();
+        let mut out: HashMap<Prefix24, f64> = HashMap::default();
         for (ip, u) in &self.by_ip {
             *out.entry(ip.prefix).or_default() += u;
         }
@@ -445,7 +445,7 @@ mod tests {
     fn apnic_estimates_track_truth_with_noise() {
         let (_, pop) = population();
         let apnic = pop.apnic_user_counts(3);
-        let mut truth: HashMap<Asn, f64> = HashMap::new();
+        let mut truth: HashMap<Asn, f64> = HashMap::default();
         for l in &pop.locations {
             *truth.entry(l.asn).or_default() += l.users;
         }

@@ -34,6 +34,7 @@
 //!
 //! | Crate | Role |
 //! |---|---|
+//! | [`par`] | deterministic fork-join parallelism (ordered map, seed derivation) |
 //! | [`geo`] | great-circle geometry, the paper's latency bounds, world map |
 //! | [`topology`] | AS graph, Gao–Rexford BGP, anycast catchments |
 //! | [`netsim`] | RTT model, TCP slow start / page loads, probes, captures |
@@ -47,6 +48,7 @@ pub use anycast_core::{experiments, Artifact, World, WorldConfig};
 
 pub use analysis;
 pub use anycast_core as core;
+pub use par;
 pub use cdn;
 pub use dns;
 pub use geo;

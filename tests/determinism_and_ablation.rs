@@ -4,6 +4,7 @@
 
 use anycast_context::analysis::cdn_inflation;
 use anycast_context::{experiments, World, WorldConfig};
+use proptest::prelude::*;
 
 #[test]
 fn same_seed_same_artifacts() {
@@ -16,6 +17,35 @@ fn same_seed_same_artifacts() {
         let rb: Vec<String> =
             experiments::run(id, &b).iter().map(|x| x.render_text()).collect();
         assert_eq!(ra, rb, "{id} not deterministic");
+    }
+}
+
+/// The tentpole guarantee of the parallel execution layer: for a fixed
+/// seed, every artifact is **byte-identical** (full-precision CSV and
+/// rendered text) whether the run uses 1 worker thread or 8. The ids
+/// cover all parallel hot paths: catchment prefill (fig2/fig5), the
+/// DITL campaign (fig3), and the sharded resolver campaign (fig12).
+#[test]
+fn artifacts_byte_identical_across_thread_counts() {
+    let config = WorldConfig::small(77);
+    let render = |threads: usize| -> Vec<(String, String)> {
+        par::set_threads(threads);
+        let world = World::build(&config);
+        let mut out = Vec::new();
+        for id in ["fig2", "fig3", "fig5", "fig12"] {
+            for a in experiments::run(id, &world) {
+                out.push((a.render_csv(), a.render_text()));
+            }
+        }
+        out
+    };
+    let single = render(1);
+    let eight = render(8);
+    par::set_threads(0);
+    assert_eq!(single.len(), eight.len());
+    for (i, (s, e)) in single.iter().zip(&eight).enumerate() {
+        assert_eq!(s.0, e.0, "artifact {i}: CSV differs between 1 and 8 threads");
+        assert_eq!(s.1, e.1, "artifact {i}: text differs between 1 and 8 threads");
     }
 }
 
@@ -82,6 +112,30 @@ fn all_experiments_run_on_a_small_world() {
             assert!(!a.render_text().is_empty());
             assert!(!a.render_csv().is_empty());
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The ordered parallel map is an exact drop-in for a sequential
+    /// map: same results, same order, at any worker count, for work
+    /// whose output depends on the item index (the seed-derivation
+    /// pattern every campaign uses).
+    #[test]
+    fn ordered_map_matches_sequential_map(
+        items in proptest::collection::vec(0u64..1_000_000, 0..200usize),
+        threads in 2usize..9,
+    ) {
+        let sequential: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| par::seed_for(*x, i as u64) ^ x.rotate_left((i % 63) as u32))
+            .collect();
+        let parallel = par::ordered_map_with(threads, &items, |i, x| {
+            par::seed_for(*x, i as u64) ^ x.rotate_left((i % 63) as u32)
+        });
+        prop_assert_eq!(sequential, parallel);
     }
 }
 

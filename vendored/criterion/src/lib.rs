@@ -1,0 +1,276 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset the `anycast-bench` benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — backed by a simple median-of-samples wall-clock timer.
+//!
+//! Like upstream, when cargo runs a `harness = false` bench target
+//! under `cargo test` it passes `--test`; in that mode each benchmark
+//! body executes exactly once as a smoke test and no timing is done.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the workload.
+pub struct Bencher<'a> {
+    samples: usize,
+    smoke_only: bool,
+    recorded: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, one invocation per sample (plus one warm-up).
+    /// In `--test` smoke mode, runs it exactly once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_only {
+            black_box(routine());
+            return;
+        }
+        black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark manager: registers and runs benchmarks.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_only: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10, smoke_only: false, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments (`--test` → smoke mode; a bare string →
+    /// name filter). Called by the [`criterion_main!`] expansion.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.smoke_only = true,
+                "--bench" => {}
+                s if !s.starts_with('-') => self.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut recorded = Vec::new();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            smoke_only: self.smoke_only,
+            recorded: &mut recorded,
+        };
+        f(&mut b);
+        if self.smoke_only {
+            println!("{name}: ok (smoke)");
+        } else if recorded.is_empty() {
+            println!("{name}: no samples recorded");
+        } else {
+            let med = median(&mut recorded);
+            println!("{name}: median {} over {} samples", human(med), recorded.len());
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), sample_size: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    fn scoped(&self) -> Criterion {
+        Criterion {
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+            smoke_only: self.parent.smoke_only,
+            filter: self.parent.filter.clone(),
+        }
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_name());
+        self.scoped().run_one(&name, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_name());
+        self.scoped().run_one(&name, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Conversion into a benchmark display name — accepts `&str`,
+/// `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, x| {
+            b.iter(|| black_box(*x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_records() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { smoke_only: true, ..Criterion::default() };
+        let mut calls = 0;
+        c.bench_function("count", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! framework.
+//!
+//! This workspace uses `#[derive(Serialize, Deserialize)]` as a
+//! schema-intent marker only — all artifact output goes through the
+//! repo's own CSV/text renderers, never a serde `Serializer`. The
+//! stand-in therefore exposes the two trait names (so `use
+//! serde::{Serialize, Deserialize}` resolves) and, behind the `derive`
+//! feature, the no-op derive macros.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// `serde::de` namespace (subset).
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` namespace (subset).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as schema
+//! markers — no code serializes at runtime and no generic bound
+//! requires the trait impls — so these derives expand to nothing.
+//! `attributes(serde)` is declared so `#[serde(...)]` field/container
+//! attributes, if ever added, parse instead of erroring.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
