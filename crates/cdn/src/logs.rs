@@ -59,10 +59,12 @@ impl ServerSideLogs {
         samples_per_location: u32,
         seed: u64,
     ) -> Self {
+        let span = obs::span!("cdn.server_logs");
         let mut cache = RouteCache::new();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5e2e_51de_10c5_ab1e);
         let mut records = Vec::new();
         for ring in &cdn.rings {
+            let ring_span = obs::span!("cdn.ring", name = ring.name);
             let catchment = Catchment::compute_shared(
                 &internet.graph,
                 std::sync::Arc::clone(&ring.deployment),
@@ -71,6 +73,7 @@ impl ServerSideLogs {
             for loc in internet.user_locations() {
                 let user_point = internet.world.region(loc.region).center;
                 let Some(assignment) = catchment.assign(loc.asn, &user_point) else {
+                    obs::counter_add("cdn.log_unroutable", 1);
                     continue;
                 };
                 let profile = PathProfile::from_assignment(&assignment, LastMile::Broadband);
@@ -79,6 +82,7 @@ impl ServerSideLogs {
                     .collect();
                 rtts.sort_by(|a, b| a.partial_cmp(b).expect("finite rtts"));
                 let median_rtt_ms = rtts[rtts.len() / 2];
+                obs::record("cdn.log_rtt_ms", median_rtt_ms);
                 records.push(ServerLogRecord {
                     ring: ring.name.clone(),
                     region: loc.region,
@@ -90,7 +94,10 @@ impl ServerSideLogs {
                     as_path_len: assignment.as_path_len() as u32,
                 });
             }
+            drop(ring_span);
         }
+        span.add_items(records.len() as u64);
+        obs::counter_add("cdn.log_records", records.len() as u64);
         Self { records }
     }
 

@@ -50,12 +50,14 @@ impl ClientMeasurements {
         samples: u32,
         seed: u64,
     ) -> Self {
+        let span = obs::span!("cdn.client_measurements");
         let mut cache = RouteCache::new();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x0d1a_11ad_5afe_c0de);
         // Small constant server-side processing for the object fetch.
         const SERVER_MS: f64 = 0.8;
         let mut rows = Vec::new();
         for ring in &cdn.rings {
+            let ring_span = obs::span!("cdn.ring", name = ring.name);
             let catchment = Catchment::compute_shared(
                 &internet.graph,
                 std::sync::Arc::clone(&ring.deployment),
@@ -64,6 +66,7 @@ impl ClientMeasurements {
             for loc in internet.user_locations() {
                 let user_point = internet.world.region(loc.region).center;
                 let Some(assignment) = catchment.assign(loc.asn, &user_point) else {
+                    obs::counter_add("cdn.client_unroutable", 1);
                     continue;
                 };
                 let profile = PathProfile::from_assignment(&assignment, LastMile::Broadband);
@@ -71,14 +74,19 @@ impl ClientMeasurements {
                     .map(|_| model.sample_rtt_ms(&profile, &mut rng) + SERVER_MS)
                     .collect();
                 fetches.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let median_fetch_ms = fetches[fetches.len() / 2];
+                obs::record("cdn.client_fetch_ms", median_fetch_ms);
                 rows.push(ClientMeasurement {
                     ring: ring.name.clone(),
                     region: loc.region,
                     asn: loc.asn,
-                    median_fetch_ms: fetches[fetches.len() / 2],
+                    median_fetch_ms,
                 });
             }
+            drop(ring_span);
         }
+        span.add_items(rows.len() as u64);
+        obs::counter_add("cdn.client_rows", rows.len() as u64);
         Self { rows }
     }
 

@@ -109,6 +109,24 @@ impl Artifact {
         }
     }
 
+    /// Number of underlying data items: CDF points across series, table
+    /// rows, scatter points, text lines, or boxes. Reported to the
+    /// observability layer as the `exp{id=…}` span's item count and by
+    /// the repro binary's per-experiment summary line.
+    pub fn item_count(&self) -> u64 {
+        match self {
+            Artifact::Cdf { series, .. } => {
+                series.iter().map(|(_, c)| c.len() as u64).sum()
+            }
+            Artifact::Table { rows, .. } => rows.len() as u64,
+            Artifact::Scatter { points, .. } => points.len() as u64,
+            Artifact::Text { body, .. } => body.lines().count() as u64,
+            Artifact::Boxes { groups, .. } => {
+                groups.iter().map(|(_, subs)| subs.len() as u64).sum()
+            }
+        }
+    }
+
     /// Renders for the terminal.
     pub fn render_text(&self) -> String {
         let mut out = String::new();

@@ -3,15 +3,23 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--seed N] [--scale F] [--year 2018|2020] [--threads N] [--out DIR] [ids…|all]
+//! repro [--seed N] [--scale F] [--year 2018|2020] [--threads N] [--verbose] [--out DIR] [ids…|all]
 //! ```
 //!
 //! Experiments run concurrently on the deterministic parallel layer
 //! (`par`); output is buffered and emitted in id order, so the text and
 //! CSV artifacts are byte-identical at any `--threads` value. Each
 //! artifact prints to stdout and, with `--out`, is also written as CSV
-//! for plotting, alongside a `timings.json` performance record (the one
-//! output that legitimately varies run to run).
+//! for plotting, alongside two JSON records:
+//!
+//! * `timings.json` — wall-clock per experiment (the one output that
+//!   legitimately varies run to run), and
+//! * `metrics.json` — the `obs` sink: counters, histograms, and span
+//!   item counts, byte-identical for a fixed seed at any `--threads`.
+//!
+//! Progress reporting goes through `obs` spans: `--verbose` streams the
+//! span tree to stderr as stages finish and prints the aggregated tree
+//! at the end; the default run is silent apart from the artifacts.
 
 use anycast_core::experiments::{run, ALL_IDS};
 use anycast_core::{Artifact, World, WorldConfig};
@@ -55,9 +63,10 @@ fn main() {
                     .filter(|y| *y == 2018 || *y == 2020)
                     .unwrap_or_else(|| die("--year must be 2018 or 2020"))
             }
+            "--verbose" | "-v" => obs::set_verbose(true),
             "--help" | "-h" => {
                 println!(
-                    "repro [--seed N] [--scale F] [--year 2018|2020] [--threads N] [--out DIR] [ids…|all]"
+                    "repro [--seed N] [--scale F] [--year 2018|2020] [--threads N] [--verbose] [--out DIR] [ids…|all]"
                 );
                 println!("ids: {}", ALL_IDS.join(" "));
                 return;
@@ -76,20 +85,19 @@ fn main() {
     par::set_threads(threads);
 
     let config = WorldConfig { seed, scale, year, ..WorldConfig::paper(seed) };
-    eprintln!(
-        "building world (seed={seed}, scale={scale}, year={year}, threads={}) …",
-        par::threads()
-    );
-    let t0 = std::time::Instant::now();
+    // World::build opens the `world` span (and its stage children) on
+    // this thread; it closes before the experiments fan out below, so no
+    // span is open across the parallel region — the recorded span paths
+    // are therefore identical at any thread count.
     let world = World::build(&config);
-    eprintln!("world ready in {:.1}s", t0.elapsed().as_secs_f64());
 
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
 
     // Run the registry concurrently; results come back in id order, so
-    // the streamed output below is identical to a sequential run.
+    // the streamed output below is identical to a sequential run. Each
+    // experiment opens its own `exp{id=…}` span inside the worker.
     let t_run = std::time::Instant::now();
     let results: Vec<(Vec<Artifact>, f64)> = par::ordered_map(&ids, |_, id| {
         let t = std::time::Instant::now();
@@ -98,43 +106,54 @@ fn main() {
     });
     let run_secs = t_run.elapsed().as_secs_f64();
 
-    let mut timings: Vec<(String, f64, usize)> = Vec::new();
+    let emit_span = obs::span!("repro.emit");
+    let mut timings: Vec<(String, f64, u64)> = Vec::new();
     for (id, (artifacts, secs)) in ids.iter().zip(&results) {
         for artifact in artifacts {
             println!("{}", artifact.render_text());
             if let Some(dir) = &out_dir {
                 let path = format!("{dir}/{}.csv", artifact.id());
+                let csv = artifact.render_csv();
+                // Data rows only (header excluded): the metrics
+                // integration test cross-checks this counter against the
+                // written files.
+                obs::counter_add(
+                    "repro.csv_rows",
+                    (csv.lines().count() as u64).saturating_sub(1),
+                );
                 let mut f = std::fs::File::create(&path).expect("create CSV");
-                f.write_all(artifact.render_csv().as_bytes()).expect("write CSV");
+                f.write_all(csv.as_bytes()).expect("write CSV");
             }
         }
-        eprintln!("[{id}] done in {secs:.1}s");
-        let items: usize = artifacts.iter().map(artifact_items).sum();
+        let items: u64 = artifacts.iter().map(Artifact::item_count).sum();
+        emit_span.add_items(items);
         timings.push((id.clone(), *secs, items));
     }
+    drop(emit_span);
 
     if let Some(dir) = &out_dir {
         let path = format!("{dir}/timings.json");
         std::fs::write(&path, render_timings(&timings, par::threads(), run_secs))
             .expect("write timings.json");
-        eprintln!("timings → {path}");
+        let metrics_path = format!("{dir}/metrics.json");
+        std::fs::write(&metrics_path, obs::render_metrics_json())
+            .expect("write metrics.json");
+        if obs::verbose() {
+            eprintln!("[obs] timings → {path}");
+            eprintln!("[obs] metrics → {metrics_path}");
+        }
     }
-    eprintln!("all experiments done in {run_secs:.1}s (threads={})", par::threads());
-}
-
-/// Number of data items an artifact carries, for items/sec reporting.
-fn artifact_items(a: &Artifact) -> usize {
-    match a {
-        Artifact::Cdf { series, .. } => series.iter().map(|(_, c)| c.len()).sum(),
-        Artifact::Table { rows, .. } => rows.len(),
-        Artifact::Scatter { points, .. } => points.len(),
-        Artifact::Text { body, .. } => body.lines().count(),
-        Artifact::Boxes { groups, .. } => groups.iter().map(|(_, g)| g.len()).sum(),
+    if obs::verbose() {
+        eprint!("{}", obs::render_tree());
+        eprintln!(
+            "[obs] all experiments done in {run_secs:.1}s (threads={})",
+            par::threads()
+        );
     }
 }
 
 /// Hand-rendered JSON (the build is offline; no serde_json available).
-fn render_timings(timings: &[(String, f64, usize)], threads: usize, total_secs: f64) -> String {
+fn render_timings(timings: &[(String, f64, u64)], threads: usize, total_secs: f64) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"threads\": {threads},\n"));
     s.push_str(&format!("  \"total_secs\": {total_secs:.3},\n"));

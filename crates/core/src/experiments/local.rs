@@ -27,6 +27,10 @@ fn sharded_campaign(
     rtts: &UpstreamRtts,
     config: &ResolverConfig,
 ) -> CampaignStats {
+    // The span stays on this (orchestrating) thread; shard closures only
+    // bump commutative counters via the resolver's metric sheet, so the
+    // recorded paths are thread-count-invariant.
+    let span = obs::span!("campaign.resolver", users = users, days = days);
     let n_shards = users.div_ceil(SHARD_USERS).max(1);
     let base = users / n_shards;
     let extra = users % n_shards;
@@ -51,6 +55,7 @@ fn sharded_campaign(
     for shard in per_shard {
         stats.merge(shard);
     }
+    span.add_items(stats.user_queries);
     stats
 }
 

@@ -19,10 +19,24 @@ pub const ALL_IDS: [&str; 23] = [
 
 /// Runs one experiment by id.
 ///
+/// Each run executes under an `obs` span named `exp{id=…}` whose item
+/// count is the total [`Artifact::item_count`] produced, so the metrics
+/// sink records one span row per experiment. The span opens *inside*
+/// whichever thread runs the experiment (inline at `--threads 1`, a
+/// worker otherwise), so the recorded path is identical either way.
+///
 /// # Panics
 ///
 /// Panics on unknown ids (the CLI validates first).
 pub fn run(id: &str, world: &World) -> Vec<Artifact> {
+    let span = obs::span!("exp", id = id);
+    let artifacts = dispatch(id, world);
+    span.add_items(artifacts.iter().map(Artifact::item_count).sum());
+    obs::counter_add("exp.artifacts", artifacts.len() as u64);
+    artifacts
+}
+
+fn dispatch(id: &str, world: &World) -> Vec<Artifact> {
     match id {
         "fig2" => roots::fig2(world),
         "fig3" => roots::fig3(world),

@@ -112,7 +112,17 @@ pub struct World {
 
 impl World {
     /// Builds everything. Deterministic in `config`.
+    ///
+    /// Every construction stage runs under an `obs` span (the `world/…`
+    /// subtree of `metrics.json`), so `repro --verbose` narrates the
+    /// build and the machine sink records per-stage item counts.
     pub fn build(config: &WorldConfig) -> Self {
+        let span = obs::span!(
+            "world",
+            seed = config.seed,
+            scale = config.scale,
+            year = config.year
+        );
         let topo = TopologyConfig {
             world_scale: config.scale,
             n_tier1: scaled(9, config.scale, 4),
@@ -121,25 +131,51 @@ impl World {
             ixp_region_count: scaled(40, config.scale, 8),
             ..TopologyConfig::full(config.seed)
         };
-        let mut internet = InternetGenerator::generate(&topo);
-        let letters = LetterSet::build(&mut internet, config.year, config.scale);
-        let cdn = Cdn::build(
-            &mut internet,
-            &CdnConfig {
-                scale: config.scale,
-                eyeball_peering_prob: config.cdn_eyeball_peering,
-                ..CdnConfig::default()
-            },
-        );
+        let mut internet = {
+            let stage = obs::span!("world.topology");
+            let internet = InternetGenerator::generate(&topo);
+            stage.add_items(internet.graph.len() as u64);
+            internet
+        };
+        let letters = {
+            let stage = obs::span!("world.letters");
+            let letters = LetterSet::build(&mut internet, config.year, config.scale);
+            stage.add_items(letters.letters.len() as u64);
+            letters
+        };
+        let cdn = {
+            let stage = obs::span!("world.cdn");
+            let cdn = Cdn::build(
+                &mut internet,
+                &CdnConfig {
+                    scale: config.scale,
+                    eyeball_peering_prob: config.cdn_eyeball_peering,
+                    ..CdnConfig::default()
+                },
+            );
+            stage.add_items(cdn.rings.len() as u64);
+            cdn
+        };
         let zone = RootZone::paper_scale(config.seed);
-        let hierarchy = DnsHierarchy::build(&mut internet, &zone, config.scale);
-        let population = UserPopulation::synthesize(
-            &mut internet,
-            &UserConfig { total_users: 1.0e9 * config.scale, ..UserConfig::default() },
-        );
+        let hierarchy = {
+            let _stage = obs::span!("world.hierarchy");
+            DnsHierarchy::build(&mut internet, &zone, config.scale)
+        };
+        let population = {
+            let stage = obs::span!("world.population");
+            let population = UserPopulation::synthesize(
+                &mut internet,
+                &UserConfig { total_users: 1.0e9 * config.scale, ..UserConfig::default() },
+            );
+            stage.add_items(population.locations.len() as u64);
+            population
+        };
         let model = LatencyModel::default();
         let cdn_user_counts = population.cdn_user_counts(config.seed);
         let apnic_user_counts = population.apnic_user_counts(config.seed);
+        // The campaigns below carry their own spans (`ditl.generate`,
+        // `cdn.server_logs`, `cdn.client_measurements`), nesting under
+        // `world` on this thread.
         let ditl = DitlDataset::generate(
             &internet,
             &letters,
@@ -156,10 +192,16 @@ impl World {
             config.client_samples,
             config.seed,
         );
-        let atlas = AtlasPanel::recruit(&internet, config.atlas_probes, config.seed);
+        let atlas = {
+            let stage = obs::span!("world.atlas");
+            let atlas = AtlasPanel::recruit(&internet, config.atlas_probes, config.seed);
+            stage.add_items(atlas.probes.len() as u64);
+            atlas
+        };
 
         // Geolocation truth: eyeball prefixes at their AS's first PoP,
         // all other prefixes at their AS's first PoP too.
+        let _geo_stage = obs::span!("world.geolocation");
         let truth: Vec<(Prefix24, geo::GeoPoint)> = internet
             .graph
             .nodes()
@@ -171,6 +213,8 @@ impl World {
             .collect();
         let geolocator = Geolocator::new(truth, GeolocError::default());
         let ip_to_asn = IpToAsnService::new(internet.graph.prefix_allocations(), 0.006);
+        drop(_geo_stage);
+        drop(span);
 
         Self {
             config: config.clone(),

@@ -1,0 +1,80 @@
+//! The observability sink obeys the repo's determinism contract: for a
+//! fixed seed, `metrics.json` is byte-identical at any `--threads`
+//! value, and its counters cross-check against the artifacts actually
+//! written to disk.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_repro(out: &Path, threads: u32) {
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--seed",
+            "7",
+            "--scale",
+            "0.12",
+            "--threads",
+            &threads.to_string(),
+            "--out",
+            out.to_str().expect("utf8 path"),
+            "fig2",
+            "fig12",
+            "tab5",
+            "extte",
+        ])
+        .output()
+        .expect("spawn repro");
+    assert!(status.status.success(), "repro --threads {threads} failed");
+}
+
+fn extract_counter(metrics: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\": ");
+    let at = metrics.find(&needle).unwrap_or_else(|| panic!("{name} missing"));
+    metrics[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
+}
+
+#[test]
+fn metrics_json_is_thread_count_invariant() {
+    let base = std::env::temp_dir().join("anycast-metrics-det");
+    let (d1, d8) = (base.join("t1"), base.join("t8"));
+    for d in [&d1, &d8] {
+        let _ = std::fs::remove_dir_all(d);
+        std::fs::create_dir_all(d).expect("mkdir");
+    }
+    run_repro(&d1, 1);
+    run_repro(&d8, 8);
+
+    let m1 = std::fs::read(d1.join("metrics.json")).expect("metrics at t1");
+    let m8 = std::fs::read(d8.join("metrics.json")).expect("metrics at t8");
+    assert_eq!(m1, m8, "metrics.json differs between --threads 1 and 8");
+
+    // Cross-check: the repro.csv_rows counter equals the data rows
+    // (lines minus header) of every CSV the run wrote.
+    let metrics = String::from_utf8(m1).expect("utf8");
+    let counted = extract_counter(&metrics, "repro.csv_rows");
+    let mut on_disk = 0u64;
+    let mut n_files = 0u64;
+    for entry in std::fs::read_dir(&d1).expect("read out dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "csv") {
+            let body = std::fs::read_to_string(&path).expect("read csv");
+            on_disk += (body.lines().count() as u64).saturating_sub(1);
+            n_files += 1;
+        }
+    }
+    assert!(n_files >= 4, "expected one CSV per artifact, saw {n_files}");
+    assert_eq!(counted, on_disk, "repro.csv_rows vs CSV data rows on disk");
+
+    // Spot-check the span rows: one exp span per requested experiment.
+    for id in ["fig2", "fig12", "tab5", "extte"] {
+        let span = format!("\"path\": \"exp{{id={id}}}\"");
+        assert!(metrics.contains(&span), "missing span row for {id}");
+    }
+    // Wall-clock never leaks into the machine sink.
+    assert!(!metrics.contains("nanos"), "timing data leaked into metrics.json");
+}

@@ -287,6 +287,14 @@ impl RecursiveResolver {
     /// statistics. Counters cover only this call (deltas against the
     /// resolver's lifetime counters), so a shard built on a fresh
     /// resolver reports exactly its own stream.
+    ///
+    /// Observability: the replay buffers its metrics into a local
+    /// [`obs::MetricSheet`] (this is the per-shard hot loop of the
+    /// fig12/fig13 campaigns) and flushes once at the end —
+    /// `resolver.user_queries`, `resolver.cache_hits`,
+    /// `resolver.root_queries`, `resolver.redundant_root_queries`, and
+    /// the `resolver.user_latency_ms` / `resolver.root_wait_ms`
+    /// histograms.
     pub fn drive<'q>(
         &mut self,
         events: impl IntoIterator<Item = (SimTime, &'q QueryName)>,
@@ -295,10 +303,18 @@ impl RecursiveResolver {
         let users_before = self.user_queries;
         let awaited_before = self.awaited_root_queries;
         let mut stats = CampaignStats::default();
+        let mut sheet = obs::MetricSheet::new();
         for (t, q) in events {
             let res = self.resolve(t, q, zone);
             stats.latencies.push((res.user_latency_ms, 1.0));
             stats.root_waits.push((res.root_wait_ms, 1.0));
+            sheet.record("resolver.user_latency_ms", res.user_latency_ms);
+            if res.root_wait_ms > 0.0 {
+                sheet.record("resolver.root_wait_ms", res.root_wait_ms);
+            }
+            if res.cache_hit {
+                sheet.counter_add("resolver.cache_hits", 1);
+            }
             for ev in &res.events {
                 if let ResolverEvent::RootQuery { redundant, .. } = ev {
                     stats.root_queries += 1;
@@ -310,6 +326,11 @@ impl RecursiveResolver {
         }
         stats.user_queries = self.user_queries - users_before;
         stats.awaited_root_queries = self.awaited_root_queries - awaited_before;
+        sheet.counter_add("resolver.user_queries", stats.user_queries);
+        sheet.counter_add("resolver.awaited_root_queries", stats.awaited_root_queries);
+        sheet.counter_add("resolver.root_queries", stats.root_queries);
+        sheet.counter_add("resolver.redundant_root_queries", stats.redundant_root_queries);
+        sheet.flush();
         stats
     }
 

@@ -1,0 +1,159 @@
+//! The two output sinks: a human-readable span tree (verbose stderr)
+//! and the deterministic `metrics.json` document.
+
+use crate::metrics::{lock_counters, lock_hists, lock_spans, SpanStats};
+use std::collections::BTreeMap;
+
+/// Renders the closed-span tree with wall-clock totals — the
+/// `--verbose` summary. Children indent under their parent and sort
+/// lexically by path, so the layout is stable; the printed durations
+/// are wall-clock and therefore vary run to run (that is why this sink
+/// is for humans and [`render_metrics_json`] omits time entirely).
+pub fn render_tree() -> String {
+    let spans = lock_spans();
+    let mut out = String::new();
+    render_subtree(&spans, "", 0, &mut out);
+    out
+}
+
+fn render_subtree(
+    spans: &BTreeMap<String, SpanStats>,
+    parent: &str,
+    depth: usize,
+    out: &mut String,
+) {
+    // Direct children of `parent`: paths extending it by exactly one
+    // `/`-separated component.
+    for (path, stats) in spans.iter() {
+        let rest = match parent {
+            "" => path.as_str(),
+            _ => match path.strip_prefix(parent).and_then(|r| r.strip_prefix('/')) {
+                Some(rest) => rest,
+                None => continue,
+            },
+        };
+        if rest.is_empty() || rest.contains('/') {
+            continue;
+        }
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(rest);
+        out.push_str(&format!(" — {:.3}s", stats.nanos as f64 / 1e9));
+        if stats.count > 1 {
+            out.push_str(&format!(" ({}×)", stats.count));
+        }
+        if stats.items > 0 {
+            out.push_str(&format!(", {} items", stats.items));
+        }
+        out.push('\n');
+        render_subtree(spans, path, depth + 1, out);
+    }
+}
+
+/// Renders every counter, histogram, and span as one JSON document —
+/// the machine sink written to `results/metrics.json` by `repro`.
+///
+/// The output is **deterministic**: keys sort lexically (`BTreeMap`
+/// iteration), every statistic is an order-independent aggregate, and
+/// wall-clock durations are excluded (they live in `timings.json` and
+/// the verbose tree). For one seed the document is byte-identical at
+/// any `--threads` value — enforced by integration test.
+pub fn render_metrics_json() -> String {
+    let mut out = String::from("{\n");
+
+    out.push_str("  \"counters\": {");
+    let counters = lock_counters();
+    for (i, (name, value)) in counters.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    \"{}\": {value}", escape(name)));
+    }
+    drop(counters);
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"histograms\": {");
+    let hists = lock_hists();
+    for (i, (name, h)) in hists.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    \"{}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+            escape(name),
+            h.count(),
+            json_num(h.min()),
+            json_num(h.max()),
+        ));
+        for (j, (le, n)) in h.nonzero_buckets().into_iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            // The overflow bucket's bound is +inf, which JSON cannot
+            // express as a number; it serializes as null.
+            let le = if le.is_finite() { format!("{le}") } else { "null".to_string() };
+            out.push_str(&format!("[{le}, {n}]"));
+        }
+        out.push_str("]}");
+    }
+    drop(hists);
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"spans\": [");
+    let spans = lock_spans();
+    for (i, (path, stats)) in spans.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"count\": {}, \"items\": {}}}",
+            escape(path),
+            stats.count,
+            stats.items
+        ));
+    }
+    drop(spans);
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn json_num(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_contains_recorded_state() {
+        crate::counter_add("sinktest.counter", 4);
+        crate::record("sinktest.hist", 3.0);
+        {
+            let outer = crate::span!("sinktest.outer");
+            outer.add_items(2);
+            let _inner = crate::span!("sinktest.inner");
+        }
+        let json = render_metrics_json();
+        assert!(json.contains("\"sinktest.counter\": 4"));
+        assert!(json.contains("\"sinktest.hist\": {\"count\": 1"));
+        assert!(json.contains("\"sinktest.outer\""));
+        assert!(json.contains("\"sinktest.outer/sinktest.inner\""));
+        assert!(!json.contains("nanos"), "wall-clock must not leak into metrics.json");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn tree_indents_children_under_parents() {
+        {
+            let _a = crate::span!("treetest.root");
+            let _b = crate::span!("treetest.child");
+        }
+        let tree = render_tree();
+        let root_line = tree.lines().find(|l| l.contains("treetest.root")).unwrap();
+        let child_line = tree.lines().find(|l| l.contains("treetest.child")).unwrap();
+        assert!(!root_line.starts_with(' '));
+        assert!(child_line.starts_with("  "));
+    }
+}

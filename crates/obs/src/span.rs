@@ -1,0 +1,181 @@
+//! Hierarchical spans: RAII guards, the thread-local span stack, and
+//! aggregation into the registry.
+
+use crate::metrics::{lock_spans, registry};
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+thread_local! {
+    /// Full paths of the spans currently open on this thread, outermost
+    /// first. Each thread has its own stack: spans opened on a worker
+    /// thread root at that thread's top level, which is why the
+    /// instrumentation convention is *spans on orchestrating threads,
+    /// counters and sheets inside parallel workers* (see the crate docs'
+    /// determinism contract).
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span. Created by [`crate::span!`] or [`SpanGuard::enter`];
+/// closing (dropping) the guard records the span into the registry and,
+/// in verbose mode, prints one progress line to stderr.
+///
+/// Guards are `!Send`: a span must close on the thread that opened it,
+/// because nesting lives in a thread-local stack.
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// Full path, `"parent/child{field=v}"`.
+    path: String,
+    /// Nesting depth at open time (for verbose indentation).
+    depth: usize,
+    start: Instant,
+    items: Cell<u64>,
+    /// Opts out of `Send`/`Sync` (the stack is thread-local).
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` with a pre-formatted field string
+    /// (`"shard=7 users=80"`, possibly empty). Prefer the
+    /// [`crate::span!`] macro, which formats fields for you.
+    pub fn enter(name: &str, fields: String) -> SpanGuard {
+        let component = if fields.is_empty() {
+            name.to_string()
+        } else {
+            format!("{name}{{{fields}}}")
+        };
+        let (path, depth) = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let path = match s.last() {
+                Some(parent) => format!("{parent}/{component}"),
+                None => component,
+            };
+            s.push(path.clone());
+            (path, s.len() - 1)
+        });
+        SpanGuard {
+            path,
+            depth,
+            start: Instant::now(),
+            items: Cell::new(0),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Attributes `n` processed work items to this span (rows emitted,
+    /// routes computed, …). Cumulative; reported as `items` in both
+    /// sinks.
+    pub fn add_items(&self, n: u64) {
+        self.items.set(self.items.get() + n);
+    }
+
+    /// The span's full path (`"parent/child{field=v}"`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            debug_assert_eq!(s.last(), Some(&self.path), "spans must close in LIFO order");
+            s.pop();
+        });
+        let elapsed = self.start.elapsed();
+        {
+            let mut spans = lock_spans();
+            let stats = spans.entry(self.path.clone()).or_default();
+            stats.count += 1;
+            stats.items += self.items.get();
+            stats.nanos += elapsed.as_nanos();
+        }
+        if registry().verbose.load(Ordering::Relaxed) {
+            let last = self.path.rsplit('/').next().unwrap_or(&self.path);
+            let indent = "  ".repeat(self.depth);
+            let items = self.items.get();
+            if items > 0 {
+                eprintln!("[obs] {indent}{last} … {:.3}s ({items} items)", elapsed.as_secs_f64());
+            } else {
+                eprintln!("[obs] {indent}{last} … {:.3}s", elapsed.as_secs_f64());
+            }
+        }
+    }
+}
+
+/// Opens a hierarchical span; returns a [`SpanGuard`] that closes it on
+/// drop. Fields are `key = value` pairs rendered with `Display` into the
+/// span's path, so `span!("ditl.campaign", shard = 7)` aggregates under
+/// the path component `ditl.campaign{shard=7}`.
+///
+/// ```
+/// let outer = anycast_obs::span!("doc.pipeline");
+/// {
+///     let inner = anycast_obs::span!("doc.stage", id = "routing");
+///     inner.add_items(3);
+///     assert_eq!(inner.path(), "doc.pipeline/doc.stage{id=routing}");
+/// }
+/// drop(outer);
+/// let json = anycast_obs::render_metrics_json();
+/// assert!(json.contains("\"doc.pipeline/doc.stage{id=routing}\""));
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter(&$name, String::new())
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let mut fields = String::new();
+        $(
+            if !fields.is_empty() {
+                fields.push(' ');
+            }
+            fields.push_str(concat!(stringify!($key), "="));
+            let _ = std::fmt::Write::write_fmt(&mut fields, format_args!("{}", $value));
+        )+
+        $crate::SpanGuard::enter(&$name, fields)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::lock_spans;
+
+    #[test]
+    fn nesting_builds_slash_paths() {
+        let a = crate::span!("spantest.outer");
+        let b = crate::span!("spantest.inner", k = 1, s = "x");
+        assert_eq!(b.path(), "spantest.outer/spantest.inner{k=1 s=x}");
+        drop(b);
+        drop(a);
+        let spans = lock_spans();
+        assert_eq!(spans["spantest.outer"].count, 1);
+        assert_eq!(spans["spantest.outer/spantest.inner{k=1 s=x}"].count, 1);
+    }
+
+    #[test]
+    fn repeated_spans_aggregate_under_one_path() {
+        for i in 0..3u64 {
+            let g = crate::span!("spantest.repeat");
+            g.add_items(i);
+        }
+        let spans = lock_spans();
+        let stats = spans["spantest.repeat"];
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.items, 3);
+    }
+
+    #[test]
+    fn sibling_threads_root_independently() {
+        let g = crate::span!("spantest.main-only");
+        let path = std::thread::spawn(|| {
+            let inner = crate::span!("spantest.worker");
+            inner.path().to_string()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(path, "spantest.worker", "worker spans must not inherit main's stack");
+        drop(g);
+    }
+}

@@ -209,9 +209,14 @@ impl RouteCache {
         let wk = self.intern_withhold(withhold);
         let key = (origin, scope, wk);
         if let Some(r) = self.map.get(&key) {
+            obs::counter_add("route_cache.hit", 1);
             return Arc::clone(r);
         }
+        obs::counter_add("route_cache.miss", 1);
         let canonical = Arc::clone(&self.withhold_lists[wk as usize]);
+        if !canonical.is_empty() {
+            obs::counter_add("route_cache.withheld_recompute", 1);
+        }
         let routes =
             Arc::new(RouteComputer::new(graph).routes_from_origin(origin, scope, &canonical));
         self.map.insert(key, Arc::clone(&routes));
@@ -228,14 +233,33 @@ impl RouteCache {
         graph: &AsGraph,
         keys: impl IntoIterator<Item = (Asn, ExportScope, &'w [Asn])>,
     ) {
+        let mut requested = 0u64;
         let mut missing: Vec<(Asn, ExportScope, u32)> = Vec::new();
         for (origin, scope, withhold) in keys {
+            requested += 1;
             let wk = self.intern_withhold(withhold);
             let key = (origin, scope, wk);
             if !self.map.contains_key(&key) && !missing.contains(&key) {
                 missing.push(key);
             }
         }
+        obs::counter_add("route_cache.prefill.requested", requested);
+        if missing.is_empty() {
+            return;
+        }
+        // The span wraps the parallel fan-out from the orchestrating
+        // thread; the workers only bump commutative counters (inside
+        // `routes_from_origin`), so nesting stays schedule-independent.
+        let span = obs::span!("route_cache.prefill");
+        span.add_items(missing.len() as u64);
+        obs::counter_add("route_cache.prefill.computed", missing.len() as u64);
+        obs::counter_add(
+            "route_cache.withheld_recompute",
+            missing
+                .iter()
+                .filter(|(_, _, wk)| !self.withhold_lists[*wk as usize].is_empty())
+                .count() as u64,
+        );
         let lists = &self.withhold_lists;
         let computed = par::ordered_map(&missing, |_, &(origin, scope, wk)| {
             RouteComputer::new(graph).routes_from_origin(origin, scope, &lists[wk as usize])

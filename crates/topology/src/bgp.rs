@@ -371,6 +371,13 @@ impl<'g> RouteComputer<'g> {
                 .sort_by_key(|fh| self.graph.node_at(fh.via).asn);
             route.first_hops.dedup();
         }
+        // Commutative counters only: this runs inside parallel prefill
+        // workers, and sums are schedule-independent.
+        obs::counter_add("bgp.origin_computations", 1);
+        obs::counter_add(
+            "bgp.routed_nodes",
+            per_node.iter().filter(|r| r.is_some()).count() as u64,
+        );
         OriginRoutes { origin, origin_idx, per_node }
     }
 }

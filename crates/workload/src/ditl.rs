@@ -148,6 +148,7 @@ impl DitlDataset {
         model: &LatencyModel,
         config: &DitlConfig,
     ) -> Self {
+        let span = obs::span!("ditl.generate", year = letters.year);
         let campaign_seed = config.seed ^ 0xd171_2018_0410_0000;
         let mut cache = RouteCache::new();
 
@@ -189,13 +190,16 @@ impl DitlDataset {
         // merge back in recursive order — so the dataset is bit-identical
         // for any thread count.
         let n_recursives = population.recursives.len();
-        let sharded: Vec<Vec<DitlRow>> =
+        let sharded: Vec<(Vec<DitlRow>, obs::MetricSheet)> =
             par::ordered_map(&population.recursives, |rec_idx, rec| {
             let mut rows: Vec<DitlRow> = Vec::new();
+            // Per-worker metric sheet: lock-free in the shard, merged
+            // back in shard index order below.
+            let mut sheet = obs::MetricSheet::new();
             let mut rng =
                 StdRng::seed_from_u64(par::seed_for(campaign_seed, rec_idx as u64));
             if rec.users <= 0.0 {
-                return rows;
+                return (rows, sheet);
             }
             // --- per-recursive routing and RTTs toward every letter ----
             let mut per_letter: Vec<(Letter, Vec<SiteAssignment>, f64, bool)> = Vec::new();
@@ -211,7 +215,8 @@ impl DitlDataset {
                 per_letter.push((*letter, ranked, rtt, *captured));
             }
             if per_letter.is_empty() {
-                return rows;
+                sheet.counter_add("ditl.unroutable_recursives", 1);
+                return (rows, sheet);
             }
             let weights = letter_weights(
                 &per_letter.iter().map(|(l, _, r, _)| (*l, *r)).collect::<Vec<_>>(),
@@ -285,6 +290,7 @@ impl DitlDataset {
                         }
                         emit_rows(
                             &mut rows,
+                            &mut sheet,
                             &mut rng,
                             rec,
                             &ip_shares,
@@ -308,6 +314,7 @@ impl DitlDataset {
                 let victim: &Recursive = &population.recursives[victim_idx];
                 if victim.id != rec.id {
                     if let Some((letter, ranked, _, true)) = per_letter.first().map(|x| (x.0, &x.1, x.2, x.3)) {
+                        sheet.counter_add("ditl.rows.spoofed", 1);
                         rows.push(DitlRow {
                             letter,
                             src: victim.prefix.host(rng.gen_range(1..=250)),
@@ -322,14 +329,23 @@ impl DitlDataset {
                     }
                 }
             }
-            rows
+            (rows, sheet)
         });
-        let mut rows: Vec<DitlRow> = sharded.into_iter().flatten().collect();
+        // Merge worker sheets in shard index order (the same order the
+        // row vectors concatenate in), then publish once.
+        let mut merged = obs::MetricSheet::new();
+        let mut rows: Vec<DitlRow> = Vec::new();
+        for (shard_rows, shard_sheet) in sharded {
+            rows.extend(shard_rows);
+            merged.merge(shard_sheet);
+        }
+        merged.flush();
 
         // --- private-space background noise, spread over letters -------
         let total: f64 = rows.iter().map(|r| r.queries_per_day).sum();
         let private_total = total * config.private_fraction / (1.0 - config.private_fraction);
         let n_private = 40.min(captured_letters.len() * 4).max(1);
+        obs::counter_add("ditl.rows.private_noise", n_private as u64);
         for i in 0..n_private {
             let letter = captured_letters[i % captured_letters.len()];
             let prefix = Prefix24::containing(0x0a_00_00_00 + ((i as u32) << 8));
@@ -346,7 +362,20 @@ impl DitlDataset {
             });
         }
 
+        span.add_items(rows.len() as u64);
+        obs::counter_add("ditl.rows", rows.len() as u64);
         Self { rows, year: letters.year, captured_letters }
+    }
+}
+
+/// Counter name for rows of one query class (`ditl.rows.<class>`).
+fn class_counter(class: QueryClass) -> &'static str {
+    match class {
+        QueryClass::ValidTld => "ditl.rows.valid_tld",
+        QueryClass::ChromiumProbe => "ditl.rows.chromium_probe",
+        QueryClass::JunkSuffix => "ditl.rows.junk_suffix",
+        QueryClass::Typo => "ditl.rows.typo",
+        QueryClass::Ptr => "ditl.rows.ptr",
     }
 }
 
@@ -355,6 +384,7 @@ impl DitlDataset {
 #[allow(clippy::too_many_arguments)]
 fn emit_rows(
     rows: &mut Vec<DitlRow>,
+    sheet: &mut obs::MetricSheet,
     rng: &mut StdRng,
     rec: &Recursive,
     ip_shares: &[(u8, f64)],
@@ -374,6 +404,8 @@ fn emit_rows(
         let udp = v4 - tcp;
         let src = rec.prefix.host(*host);
         if udp > 1e-9 {
+            sheet.counter_add(class_counter(class), 1);
+            sheet.record("ditl.row_queries_per_day", udp);
             rows.push(DitlRow {
                 letter,
                 src,
@@ -387,6 +419,9 @@ fn emit_rows(
             });
         }
         if tcp > 1e-9 {
+            sheet.counter_add(class_counter(class), 1);
+            sheet.counter_add("ditl.rows.tcp", 1);
+            sheet.record("ditl.row_queries_per_day", tcp);
             let mut samples: Vec<f64> = (0..config.tcp_samples)
                 .map(|_| model.sample_rtt_ms(profile, rng))
                 .collect();
@@ -405,6 +440,9 @@ fn emit_rows(
             });
         }
         if v6 > 1e-9 {
+            sheet.counter_add(class_counter(class), 1);
+            sheet.counter_add("ditl.rows.ipv6", 1);
+            sheet.record("ditl.row_queries_per_day", v6);
             rows.push(DitlRow {
                 letter,
                 src,

@@ -35,6 +35,7 @@
 //! | Crate | Role |
 //! |---|---|
 //! | [`par`] | deterministic fork-join parallelism (ordered map, seed derivation) |
+//! | [`obs`] | observability: spans, deterministic counters/histograms, tree + `metrics.json` sinks |
 //! | [`geo`] | great-circle geometry, the paper's latency bounds, world map |
 //! | [`topology`] | AS graph, Gao–Rexford BGP, anycast catchments |
 //! | [`netsim`] | RTT model, TCP slow start / page loads, probes, captures |
@@ -42,12 +43,13 @@
 //! | [`cdn`] | rings, server logs, client measurements, page-load study |
 //! | [`workload`] | user populations, DITL campaign, Atlas panel, geolocation |
 //! | [`analysis`] | Eq. 1–3, amortization, joins, path-length pipeline |
-//! | [`core`](anycast_core) | world builder, experiment registry, renderers |
+//! | [`core`] | world builder, experiment registry, renderers |
 
 pub use anycast_core::{experiments, Artifact, World, WorldConfig};
 
 pub use analysis;
 pub use anycast_core as core;
+pub use obs;
 pub use par;
 pub use cdn;
 pub use dns;
