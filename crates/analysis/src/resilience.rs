@@ -318,6 +318,81 @@ mod tests {
     }
 
     #[test]
+    fn empty_withhold_set_is_the_served_baseline() {
+        // withhold = [] is the common case, not a degenerate one: the
+        // announcement reaches every neighbor, nothing collapses, and
+        // the before/after pictures carry identical user volume.
+        let (net, dep, users) = setup(4);
+        assert!(dep.withhold.is_empty());
+        let outcome = simulate_attack(
+            &net.graph,
+            &dep,
+            &LatencyModel::default(),
+            &users,
+            &AttackSpec { sources: vec![] },
+            1e12,
+        );
+        assert!(outcome.withdrawn_sites.is_empty());
+        assert_eq!(outcome.rounds, 1);
+        assert!(outcome.survived());
+        assert!(
+            (outcome.latency_after.total_weight() - outcome.latency_before.total_weight()).abs()
+                < 1e-9,
+            "an attack-free run must serve exactly the baseline volume"
+        );
+    }
+
+    #[test]
+    fn withholding_every_neighbor_blacks_out_the_deployment() {
+        // With the announcement withheld from every AS in the graph no
+        // catchment forms, so even an attack-free run serves (almost)
+        // nobody: the deployment did not survive.
+        let (net, dep, users) = setup(4);
+        let everyone: Vec<Asn> = net.graph.nodes().iter().map(|n| n.asn).collect();
+        let mut blackout = AnycastDeployment::new(dep.name.clone(), dep.sites.clone(), everyone);
+        blackout.origin_as = dep.origin_as;
+        blackout.direct_hosts = dep.direct_hosts.clone();
+        let outcome = simulate_attack(
+            &net.graph,
+            &blackout,
+            &LatencyModel::default(),
+            &users,
+            &AttackSpec { sources: vec![] },
+            1e12,
+        );
+        assert!(!outcome.survived(), "a blacked-out deployment cannot survive");
+        // Nothing reached the sites, so nothing overloaded and withdrew.
+        assert!(outcome.withdrawn_sites.is_empty());
+        assert_eq!(outcome.rounds, 1);
+    }
+
+    #[test]
+    fn single_surviving_site_conserves_volume() {
+        // One site absorbing an attack it can carry: every served user
+        // lands there, and served + unserved volume sums back to the
+        // total user load exactly.
+        let (net, dep, users) = setup(1);
+        let total: f64 = users.iter().map(|u| u.load).sum();
+        let attack = attack_from(&users, 4, total * 0.5);
+        let outcome = simulate_attack(
+            &net.graph,
+            &dep,
+            &LatencyModel::default(),
+            &users,
+            &attack,
+            total * 2.0, // legit + attack both fit
+        );
+        assert!(outcome.withdrawn_sites.is_empty(), "the lone site must hold");
+        assert_eq!(outcome.rounds, 1);
+        let served = outcome.latency_after.total_weight();
+        let unserved = outcome.unserved_user_fraction * total;
+        assert!(
+            (served + unserved - total).abs() < 1e-6,
+            "volume must be conserved: served {served} + unserved {unserved} != total {total}"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let (net, dep, users) = setup(2);

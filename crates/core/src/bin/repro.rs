@@ -21,7 +21,7 @@
 //! span tree to stderr as stages finish and prints the aggregated tree
 //! at the end; the default run is silent apart from the artifacts.
 
-use anycast_core::experiments::{run, ALL_IDS};
+use anycast_core::experiments::{run, ALL_IDS, DESCRIPTIONS};
 use anycast_core::{Artifact, World, WorldConfig};
 use std::io::Write;
 
@@ -64,11 +64,18 @@ fn main() {
                     .unwrap_or_else(|| die("--year must be 2018 or 2020"))
             }
             "--verbose" | "-v" => obs::set_verbose(true),
+            "--list" => {
+                for (id, desc) in DESCRIPTIONS {
+                    println!("{id:<12}{desc}");
+                }
+                return;
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--seed N] [--scale F] [--year 2018|2020] [--threads N] [--verbose] [--out DIR] [ids…|all]"
+                    "repro [--seed N] [--scale F] [--year 2018|2020] [--threads N] [--verbose] [--list] [--out DIR] [ids…|all]"
                 );
                 println!("ids: {}", ALL_IDS.join(" "));
+                println!("run `repro --list` for one-line descriptions");
                 return;
             }
             other => ids.push(other.to_string()),
@@ -79,7 +86,12 @@ fn main() {
     }
     for id in &ids {
         if !ALL_IDS.contains(&id.as_str()) {
-            die(&format!("unknown experiment {id:?}; known: {}", ALL_IDS.join(" ")));
+            let hint = closest_id(id)
+                .map(|c| format!(" (did you mean {c:?}?)"))
+                .unwrap_or_default();
+            die(&format!(
+                "unknown experiment {id:?}{hint}; run `repro --list` to see every id"
+            ));
         }
     }
     par::set_threads(threads);
@@ -167,6 +179,32 @@ fn render_timings(timings: &[(String, f64, u64)], threads: usize, total_secs: f6
     }
     s.push_str("  ]\n}\n");
     s
+}
+
+/// The known id nearest to `input` by edit distance, if any comes
+/// within two edits (typo range). Ties go to registry order.
+fn closest_id(input: &str) -> Option<&'static str> {
+    ALL_IDS
+        .iter()
+        .map(|id| (edit_distance(input, id), *id))
+        .filter(|(d, _)| *d <= 2)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, id)| id)
+}
+
+/// Plain Levenshtein distance (the inputs are short ids).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
 }
 
 fn die(msg: &str) -> ! {

@@ -1,0 +1,238 @@
+//! Dynamics experiments: the two systems under operational churn.
+//!
+//! The paper measures both systems in steady state; these experiments
+//! script the events operators actually live through — a flapping root
+//! site, a CDN ring's rolling maintenance drain, a correlated regional
+//! outage, a lost peering — and replay them on the `dynamics` engine to
+//! quantify the transient: users shifted, latency inflation, stylized
+//! convergence time, and queries landing degraded, per event. Every
+//! run also reports the incremental engine's work-avoidance (per-user
+//! assignments recomputed vs reused) against a full-recompute
+//! equivalent.
+
+use crate::artifact::Artifact;
+use crate::world::World;
+use dynamics::{DynUser, DynamicsEngine, RecomputeMode, Scenario, Timeline};
+use netsim::SimTime;
+use std::sync::Arc;
+use topology::{AnycastDeployment, SiteId};
+
+/// The user population as dynamics traffic sources. Query volume is the
+/// world's DITL total apportioned by user weight, so degraded-query
+/// accounting stays on the same scale as the capture campaigns.
+fn dyn_users(world: &World) -> Vec<DynUser> {
+    let total_users = world.population.total_users();
+    let total_qpd = world.ditl.total_queries_per_day();
+    world
+        .population
+        .locations
+        .iter()
+        .map(|l| DynUser {
+            asn: l.asn,
+            location: world.internet.world.region(l.region).center,
+            weight: l.users,
+            queries_per_day: if total_users > 0.0 {
+                total_qpd * l.users / total_users
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+/// Builds an engine over `deployment` with the world's population.
+fn engine<'w>(world: &'w World, deployment: Arc<AnycastDeployment>) -> DynamicsEngine<'w> {
+    DynamicsEngine::new(
+        &world.internet.graph,
+        deployment,
+        world.model.clone(),
+        dyn_users(world),
+        RecomputeMode::Incremental,
+    )
+}
+
+/// The root letter with the most global sites — the deployment where
+/// site-level churn has the richest catchment structure to disturb.
+fn busiest_letter(world: &World) -> &dns::letters::RootLetter {
+    world
+        .letters
+        .letters
+        .iter()
+        .fold(None::<&dns::letters::RootLetter>, |best, l| match best {
+            Some(b) if b.deployment.global_site_count() >= l.deployment.global_site_count() => {
+                Some(b)
+            }
+            _ => Some(l),
+        })
+        .expect("letter set is non-empty")
+}
+
+/// The site carrying the most user weight (first one on ties).
+fn hottest_site(eng: &DynamicsEngine<'_>) -> SiteId {
+    let loads = eng.site_loads();
+    let mut best = 0usize;
+    for (i, l) in loads.iter().enumerate() {
+        if *l > loads[best] {
+            best = i;
+        }
+    }
+    SiteId(best as u32)
+}
+
+/// Renders one timeline as two tables: the per-event time series and a
+/// run summary (worst-case shift/inflation, degraded queries, and the
+/// incremental engine's recompute-vs-reuse ledger).
+fn timeline_artifacts(id: &str, title: &str, t: &Timeline, n_users: usize) -> Vec<Artifact> {
+    let (recomputed, reused) = t.recompute_totals();
+    let events = t.records.len().saturating_sub(1) as u64;
+    let full_equivalent = events * n_users as u64;
+    let savings = if full_equivalent > 0 {
+        1.0 - recomputed as f64 / full_equivalent as f64
+    } else {
+        0.0
+    };
+    let rows = vec![
+        vec!["events".into(), events.to_string()],
+        vec!["max_shifted_frac".into(), format!("{:.6}", t.max_shifted_frac())],
+        vec!["max_inflation_ms".into(), format!("{:.3}", t.max_inflation_ms())],
+        vec![
+            "total_degraded_queries".into(),
+            format!("{:.3}", t.total_degraded_queries()),
+        ],
+        vec!["assign_recomputed".into(), recomputed.to_string()],
+        vec!["assign_reused".into(), reused.to_string()],
+        vec!["full_equivalent".into(), full_equivalent.to_string()],
+        vec!["recompute_savings".into(), format!("{savings:.4}")],
+    ];
+    vec![
+        Artifact::Table {
+            id: id.into(),
+            title: title.into(),
+            header: Timeline::header(),
+            rows: t.rows(),
+        },
+        Artifact::Table {
+            id: format!("{id}sum"),
+            title: format!("{title} — run summary"),
+            header: vec!["metric".into(), "value".into()],
+            rows,
+        },
+    ]
+}
+
+/// `dynflap`: the busiest root letter's hottest site flaps three times
+/// (down for five minutes, up for five, with seeded jitter).
+pub fn dynflap(world: &World) -> Vec<Artifact> {
+    let letter = busiest_letter(world);
+    let mut eng = engine(world, Arc::clone(&letter.deployment));
+    let target = hottest_site(&eng);
+    let scenario = Scenario::site_flap(
+        format!("{}-flap", letter.deployment.name),
+        target,
+        SimTime::from_secs(60.0),
+        600_000.0,
+        3,
+        30_000.0,
+        world.config.seed,
+    );
+    let n = eng.deployment().sites.len();
+    let t = eng.run(&scenario);
+    timeline_artifacts(
+        "dynflap",
+        &format!(
+            "Hottest {} site ({target} of {n}) flapping 3× — per-event dynamics",
+            letter.deployment.name
+        ),
+        &t,
+        world.population.locations.len(),
+    )
+}
+
+/// `dyndrain`: rolling maintenance over the largest CDN ring — each
+/// site drains for five minutes, starts staggered seven minutes apart,
+/// one at a time.
+pub fn dyndrain(world: &World) -> Vec<Artifact> {
+    let ring = world.cdn.largest_ring();
+    let n = ring.deployment.sites.len().min(8);
+    let sites: Vec<SiteId> = (0..n as u32).map(SiteId).collect();
+    let scenario = Scenario::rolling_drain(
+        format!("{}-drain", ring.name),
+        &sites,
+        SimTime::from_secs(30.0),
+        300_000.0,
+        420_000.0,
+    );
+    let mut eng = engine(world, Arc::clone(&ring.deployment));
+    let t = eng.run(&scenario);
+    timeline_artifacts(
+        "dyndrain",
+        &format!("Rolling drain of {n} {} sites, one at a time", ring.name),
+        &t,
+        world.population.locations.len(),
+    )
+}
+
+/// `dynoutage`: a correlated regional failure — every site of the
+/// busiest letter within 3000 km of its hottest site goes down within a
+/// two-minute window and recovers half an hour later.
+pub fn dynoutage(world: &World) -> Vec<Artifact> {
+    let letter = busiest_letter(world);
+    let mut eng = engine(world, Arc::clone(&letter.deployment));
+    let target = hottest_site(&eng);
+    let center = letter.deployment.site(target).location;
+    let (scenario, hit) = Scenario::regional_outage(
+        format!("{}-outage", letter.deployment.name),
+        &letter.deployment,
+        &center,
+        3_000.0,
+        SimTime::from_secs(60.0),
+        1_800_000.0,
+        120_000.0,
+        world.config.seed,
+    );
+    let t = eng.run(&scenario);
+    timeline_artifacts(
+        "dynoutage",
+        &format!(
+            "Regional outage: {} {} sites within 3000 km of {target} fail together",
+            hit.len(),
+            letter.deployment.name
+        ),
+        &t,
+        world.population.locations.len(),
+    )
+}
+
+/// `dynpeer`: the busiest letter's hosts lose every session toward the
+/// host-adjacent neighbor AS carrying the most user traffic, for half
+/// an hour. Withhold changes invalidate every origin group at once, so
+/// this is the engine's worst case — the run summary shows (honestly)
+/// near-zero recompute savings.
+pub fn dynpeer(world: &World) -> Vec<Artifact> {
+    let letter = busiest_letter(world);
+    let mut eng = engine(world, Arc::clone(&letter.deployment));
+    // The heaviest host-adjacent AS that is not itself announcing the
+    // prefix: the session whose loss reroutes the most user weight.
+    let neighbor = eng
+        .transit_loads()
+        .into_iter()
+        .map(|(asn, _)| asn)
+        .find(|asn| !letter.deployment.sites.iter().any(|s| s.host == *asn))
+        .unwrap_or_else(|| world.internet.graph.node_at(0).asn);
+    let scenario = Scenario::peering_flap(
+        format!("{}-peerloss", letter.deployment.name),
+        neighbor,
+        SimTime::from_secs(60.0),
+        1_800_000.0,
+    );
+    let t = eng.run(&scenario);
+    timeline_artifacts(
+        "dynpeer",
+        &format!(
+            "All {} sessions toward {neighbor} lost for 30 min",
+            letter.deployment.name
+        ),
+        &t,
+        world.population.locations.len(),
+    )
+}

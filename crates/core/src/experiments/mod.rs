@@ -1,6 +1,7 @@
 //! Experiment registry: every table and figure, by id.
 
 pub mod cdn_exp;
+pub mod dynamics_exp;
 pub mod extensions;
 pub mod local;
 pub mod paths_exp;
@@ -10,11 +11,43 @@ pub mod tables;
 use crate::artifact::Artifact;
 use crate::world::World;
 
-/// All experiment ids, in paper order.
-pub const ALL_IDS: [&str; 23] = [
+/// All experiment ids, in paper order (extensions and dynamics last).
+pub const ALL_IDS: [&str; 27] = [
     "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab1", "tab2", "tab4", "tab5", "fig8",
     "fig9", "fig10", "fig11", "fig12", "appc", "fig14", "extunicast", "extlocals", "extddos",
-    "extte", "exttld", "extinfer",
+    "extte", "exttld", "extinfer", "dynflap", "dyndrain", "dynoutage", "dynpeer",
+];
+
+/// One-line description per experiment id, in [`ALL_IDS`] order — the
+/// catalogue behind `repro --list`.
+pub const DESCRIPTIONS: [(&str, &str); 27] = [
+    ("fig2", "Geographic and latency inflation per root query (CDFs of users)"),
+    ("fig3", "Root queries per user per day, amortization across letters"),
+    ("fig4", "CDN latency per page load and per RTT, by ring (CDFs of probes)"),
+    ("fig5", "CDN vs root DNS inflation overlay (the tale of two systems)"),
+    ("fig6", "AS path lengths and geographic inflation vs path length"),
+    ("fig7", "Latency, efficiency, and coverage vs number of global sites"),
+    ("tab1", "Operator survey: why root letters grow"),
+    ("tab2", "Dataset inventory and strengths/weaknesses (Tables 2 and 3)"),
+    ("tab4", "DITL∩CDN overlap, exact-IP vs /24 join"),
+    ("tab5", "Redundant root queries after an authoritative timeout"),
+    ("fig8", "Amortization with vs without invalid-TLD filtering (App. B.1)"),
+    ("fig9", "Amortization joined by exact IP vs /24 (App. B.2)"),
+    ("fig10", "Fraction of /24 queries not hitting the favorite site (Eq. 3)"),
+    ("fig11", "Letter inflation, 2018 vs 2020 site censuses"),
+    ("fig12", "User DNS query latency and root wait at a shared recursive"),
+    ("appc", "RTTs per page load over synthetic pages (App. C)"),
+    ("fig14", "Relative latency to the largest ring, by region (App. F map)"),
+    ("extunicast", "Anycast vs the best unicast alternative (the metric §3 declines)"),
+    ("extlocals", "What local (NO_EXPORT) sites buy their neighborhoods"),
+    ("extddos", "DDoS failure cascades vs deployment size"),
+    ("extte", "Selective-announcement traffic engineering loop (§7.1)"),
+    ("exttld", "A tale of three systems: adding the TLD layer"),
+    ("extinfer", "Gao relationship inference vs ground truth"),
+    ("dynflap", "Dynamics: hottest root-letter site flapping (incremental engine)"),
+    ("dyndrain", "Dynamics: rolling maintenance drain across the largest CDN ring"),
+    ("dynoutage", "Dynamics: correlated regional outage of nearby root sites"),
+    ("dynpeer", "Dynamics: peering loss toward the heaviest host-adjacent AS"),
 ];
 
 /// Runs one experiment by id.
@@ -34,6 +67,11 @@ pub fn run(id: &str, world: &World) -> Vec<Artifact> {
     span.add_items(artifacts.iter().map(Artifact::item_count).sum());
     obs::counter_add("exp.artifacts", artifacts.len() as u64);
     artifacts
+}
+
+/// The one-line description of an experiment id, if known.
+pub fn describe(id: &str) -> Option<&'static str> {
+    DESCRIPTIONS.iter().find(|(i, _)| *i == id).map(|(_, d)| *d)
 }
 
 fn dispatch(id: &str, world: &World) -> Vec<Artifact> {
@@ -65,6 +103,26 @@ fn dispatch(id: &str, world: &World) -> Vec<Artifact> {
         "extte" => extensions::extte(world),
         "exttld" => extensions::exttld(world),
         "extinfer" => extensions::extinfer(world),
+        "dynflap" => dynamics_exp::dynflap(world),
+        "dyndrain" => dynamics_exp::dyndrain(world),
+        "dynoutage" => dynamics_exp::dynoutage(world),
+        "dynpeer" => dynamics_exp::dynpeer(world),
         other => panic!("unknown experiment id {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_covers_every_id_in_order() {
+        assert_eq!(ALL_IDS.len(), DESCRIPTIONS.len());
+        for (id, (did, desc)) in ALL_IDS.iter().zip(DESCRIPTIONS) {
+            assert_eq!(*id, did, "catalogue order must match ALL_IDS");
+            assert!(!desc.is_empty());
+        }
+        assert_eq!(describe("dynflap"), Some(DESCRIPTIONS[23].1));
+        assert_eq!(describe("nope"), None);
     }
 }

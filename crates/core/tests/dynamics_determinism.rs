@@ -1,0 +1,83 @@
+//! The dynamics experiments obey the repo's determinism contract: the
+//! per-event CSV time series are byte-identical at any `--threads`
+//! value, and the `obs` counters prove the incremental engine touched
+//! fewer catchment entries than a full per-event recompute would have.
+
+use std::path::Path;
+use std::process::Command;
+
+const DYN_IDS: [&str; 4] = ["dynflap", "dyndrain", "dynoutage", "dynpeer"];
+
+fn run_repro(out: &Path, threads: u32) {
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--seed",
+            "7",
+            "--scale",
+            "0.12",
+            "--threads",
+            &threads.to_string(),
+            "--out",
+            out.to_str().expect("utf8 path"),
+        ])
+        .args(DYN_IDS)
+        .output()
+        .expect("spawn repro");
+    assert!(status.status.success(), "repro --threads {threads} failed");
+}
+
+fn extract_counter(metrics: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\": ");
+    let at = metrics.find(&needle).unwrap_or_else(|| panic!("{name} missing"));
+    metrics[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
+}
+
+#[test]
+fn dynamics_csvs_are_thread_count_invariant_and_incremental_saves_work() {
+    let base = std::env::temp_dir().join("anycast-dynamics-det");
+    let (d1, d8) = (base.join("t1"), base.join("t8"));
+    for d in [&d1, &d8] {
+        let _ = std::fs::remove_dir_all(d);
+        std::fs::create_dir_all(d).expect("mkdir");
+    }
+    run_repro(&d1, 1);
+    run_repro(&d8, 8);
+
+    // Every dynamics artifact (timeline + summary per id) must be
+    // byte-identical across thread counts.
+    for id in DYN_IDS {
+        for name in [format!("{id}.csv"), format!("{id}sum.csv")] {
+            let a = std::fs::read(d1.join(&name)).unwrap_or_else(|_| panic!("{name} at t1"));
+            let b = std::fs::read(d8.join(&name)).unwrap_or_else(|_| panic!("{name} at t8"));
+            assert_eq!(a, b, "{name} differs between --threads 1 and 8");
+            let data_rows = a.iter().filter(|&&c| c == b'\n').count().saturating_sub(1);
+            assert!(data_rows >= 1, "{name} has no data rows");
+        }
+    }
+
+    // The obs sink is part of the same contract.
+    let m1 = std::fs::read(d1.join("metrics.json")).expect("metrics at t1");
+    let m8 = std::fs::read(d8.join("metrics.json")).expect("metrics at t8");
+    assert_eq!(m1, m8, "metrics.json differs between --threads 1 and 8");
+
+    // The incremental engine's whole point: across the dynamics runs it
+    // recomputed strictly fewer per-user assignments than the
+    // full-recompute equivalent, and the ledger balances.
+    let metrics = String::from_utf8(m1).expect("utf8");
+    let recomputed = extract_counter(&metrics, "dynamics.assign_recomputed");
+    let reused = extract_counter(&metrics, "dynamics.assign_reused");
+    let full = extract_counter(&metrics, "dynamics.full_equiv");
+    let events = extract_counter(&metrics, "dynamics.events_processed");
+    assert!(events >= 8, "expected the scripted events to run, saw {events}");
+    assert!(
+        recomputed < full,
+        "incremental recompute ({recomputed}) must beat full ({full})"
+    );
+    assert!(reused > 0, "no assignment was ever reused");
+    assert_eq!(recomputed + reused, full, "recompute ledger must balance");
+}

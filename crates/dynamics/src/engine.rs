@@ -1,0 +1,667 @@
+//! The dynamics engine: apply a routing event, recompute only what the
+//! event could have moved.
+//!
+//! [`DynamicsEngine`] drives one deployment through a [`Scenario`] on
+//! `netsim`'s simulated clock. After every event it rebuilds the
+//! catchment over the *effective* deployment (surviving sites, current
+//! prefix announcements, current peering withholds) — which is cheap
+//! thanks to [`RouteCache`] memoization — and then decides, per user,
+//! whether the event could possibly have changed that user's BGP
+//! choice. Only challenged users are re-ranked; the rest reuse their
+//! stored assignment verbatim.
+//!
+//! # Why the reuse rule is sound
+//!
+//! Catchments are built from *origin groups* keyed `(host AS, scope)`;
+//! each group's routes live behind an `Arc` memoized by the route
+//! cache, so an unchanged group is recognizable by pointer identity
+//! plus an identical hosted-site list. The engine diffs successive
+//! group sets and recomputes a user when, and only when:
+//!
+//! 1. the user's *winning* group was removed or changed — its routes
+//!    or its hosted sites are different, so anything about the stored
+//!    assignment may be stale; or
+//! 2. some added or changed group's new route at the user's source AS
+//!    satisfies [`CandidateKey::challenged_by`] against the stored
+//!    winning key — i.e. it beats or ties the winner on the
+//!    geography-blind prefix of the BGP decision (class, path length)
+//!    and could therefore take over once the early-exit tie-break
+//!    runs; or
+//! 3. the user was unserved and an added or changed group now has any
+//!    route at their source.
+//!
+//! Everything else is provably unaffected: removing or weakening a
+//! group the user did not choose cannot improve it, an unchanged
+//! group ranks and materializes exactly as before, and a challenger
+//! that loses on (class, length) loses outright because the early-exit
+//! distance is only consulted on ties.
+
+use crate::event::{EventQueue, RoutingEvent};
+use crate::scenario::Scenario;
+use crate::timeline::{weighted_median, EpochRecord, Timeline};
+use geo::GeoPoint;
+use netsim::{LastMile, LatencyModel, PathProfile, SimClock, SimTime};
+use par::{DetHashMap, DetHashSet};
+use std::sync::Arc;
+use topology::{
+    AnycastDeployment, AnycastSite, AsGraph, Asn, CandidateKey, Catchment, ExportScope,
+    OriginRoutes, RouteCache, SiteId,
+};
+
+/// Floor of the stylized BGP convergence model: even a tiny change
+/// takes a couple of seconds to propagate.
+const BASE_CONVERGENCE_MS: f64 = 2_000.0;
+/// Slope of the convergence model: shifting the entire user base costs
+/// an extra ~28 s of path exploration (order of the classic BGP
+/// convergence measurements).
+const SHIFT_CONVERGENCE_MS: f64 = 28_000.0;
+const MS_PER_DAY: f64 = 86_400_000.0;
+
+/// How the engine reacts to an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecomputeMode {
+    /// Re-rank only users whose stored choice the event could have
+    /// invalidated (the production path).
+    Incremental,
+    /// Re-rank every user at every event — the reference oracle the
+    /// incremental path must match record-for-record.
+    Full,
+}
+
+/// One weighted traffic source driven through a scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct DynUser {
+    /// Source AS.
+    pub asn: Asn,
+    /// Source location.
+    pub location: GeoPoint,
+    /// Population weight (user count).
+    pub weight: f64,
+    /// Query volume this source sends per day (for the degraded-query
+    /// accounting during convergence windows).
+    pub queries_per_day: f64,
+}
+
+/// A user's current assignment, in *original* deployment site ids.
+#[derive(Debug, Clone, Copy)]
+struct UserState {
+    site: Option<SiteId>,
+    key: Option<CandidateKey>,
+    /// The AS adjacent to the serving site's host on the current path —
+    /// the neighbor that heard the host's announcement, i.e. the
+    /// session a `PeeringDown` against that neighbor would sever.
+    via: Option<Asn>,
+    latency_ms: f64,
+    path_km: f64,
+}
+
+const UNSERVED: UserState =
+    UserState { site: None, key: None, via: None, latency_ms: 0.0, path_km: 0.0 };
+
+/// Snapshot of one origin group of the current catchment: the shared
+/// route table and the hosted sites in original ids, sorted.
+#[derive(Debug)]
+struct GroupSnap {
+    routes: Arc<OriginRoutes>,
+    sites: Vec<SiteId>,
+}
+
+/// Inserts `a` into the sorted set `v` (no-op if present).
+fn insert_sorted(v: &mut Vec<Asn>, a: Asn) {
+    if let Err(pos) = v.binary_search(&a) {
+        v.insert(pos, a);
+    }
+}
+
+/// Removes `a` from the sorted set `v` (no-op if absent).
+fn remove_sorted(v: &mut Vec<Asn>, a: Asn) {
+    if let Ok(pos) = v.binary_search(&a) {
+        v.remove(pos);
+    }
+}
+
+/// Drives one deployment through scripted routing events, maintaining
+/// every user's assignment incrementally.
+///
+/// An engine is single-shot: construct, optionally inspect the initial
+/// steady state ([`DynamicsEngine::init_record`],
+/// [`DynamicsEngine::site_loads`]), then [`DynamicsEngine::run`] one
+/// scenario.
+#[derive(Debug)]
+pub struct DynamicsEngine<'g> {
+    graph: &'g AsGraph,
+    base: Arc<AnycastDeployment>,
+    model: LatencyModel,
+    mode: RecomputeMode,
+    users: Vec<DynUser>,
+    /// Graph node index of each user's source AS (parallel to `users`).
+    src_idx: Vec<usize>,
+    total_weight: f64,
+    cache: RouteCache,
+    clock: SimClock,
+    /// Announcement state per original site id (`false` = down/drained).
+    alive: Vec<bool>,
+    /// Host ASes that currently withdraw the prefix entirely. Sorted.
+    withdrawn_hosts: Vec<Asn>,
+    /// Neighbor ASes the deployment currently has no sessions toward
+    /// (merged into the effective withhold list). Sorted.
+    lost_peerings: Vec<Asn>,
+    /// Origin-group snapshot of the current catchment.
+    groups: DetHashMap<(Asn, ExportScope), GroupSnap>,
+    states: Vec<UserState>,
+    baseline_median_ms: Option<f64>,
+    init_record: Option<EpochRecord>,
+}
+
+impl<'g> DynamicsEngine<'g> {
+    /// Builds an engine and computes the initial steady-state
+    /// assignment of every user (the `"init"` epoch).
+    pub fn new(
+        graph: &'g AsGraph,
+        deployment: Arc<AnycastDeployment>,
+        model: LatencyModel,
+        users: Vec<DynUser>,
+        mode: RecomputeMode,
+    ) -> Self {
+        let n_sites = deployment.sites.len();
+        let total_weight = users.iter().map(|u| u.weight).sum();
+        let src_idx = users.iter().map(|u| graph.idx(u.asn)).collect();
+        let n = users.len();
+        let mut eng = Self {
+            graph,
+            base: deployment,
+            model,
+            mode,
+            users,
+            src_idx,
+            total_weight,
+            cache: RouteCache::new(),
+            clock: SimClock::new(),
+            alive: vec![true; n_sites],
+            withdrawn_hosts: Vec::new(),
+            lost_peerings: Vec::new(),
+            groups: DetHashMap::default(),
+            states: vec![UNSERVED; n],
+            baseline_median_ms: None,
+            init_record: None,
+        };
+        let mut rec = eng.reassign("init", true);
+        eng.baseline_median_ms = rec.median_ms;
+        rec.inflation_ms = rec.median_ms.map(|_| 0.0);
+        eng.init_record = Some(rec);
+        eng
+    }
+
+    /// The `"init"` steady-state epoch computed at construction.
+    pub fn init_record(&self) -> &EpochRecord {
+        self.init_record.as_ref().expect("set in new()")
+    }
+
+    /// Weighted median RTT of the initial steady state, ms.
+    pub fn baseline_median_ms(&self) -> Option<f64> {
+        self.baseline_median_ms
+    }
+
+    /// The base deployment the engine was built over.
+    pub fn deployment(&self) -> &AnycastDeployment {
+        &self.base
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Current user weight landing on each site, indexed by original
+    /// site id. Scenario builders use this to aim events at the
+    /// hottest (or coldest) site deterministically.
+    pub fn site_loads(&self) -> Vec<f64> {
+        let mut loads = vec![0.0; self.base.sites.len()];
+        for (u, st) in self.users.iter().zip(&self.states) {
+            if let Some(s) = st.site {
+                loads[s.0 as usize] += u.weight;
+            }
+        }
+        loads
+    }
+
+    /// Current user weight entering the deployment through each
+    /// host-adjacent neighbor AS (the last interdomain session before
+    /// the serving site), heaviest first, ties broken by ASN. Users
+    /// inside a host AS cross no such session and are not counted.
+    /// Scenario builders use this to aim peering events at sessions
+    /// that actually carry traffic — withholding is per host neighbor,
+    /// so only host-adjacent ASes are meaningful targets.
+    pub fn transit_loads(&self) -> Vec<(Asn, f64)> {
+        let mut loads: DetHashMap<Asn, f64> = DetHashMap::default();
+        for (u, st) in self.users.iter().zip(&self.states) {
+            if let Some(via) = st.via {
+                *loads.entry(via).or_default() += u.weight;
+            }
+        }
+        let mut out: Vec<(Asn, f64)> = loads.into_iter().collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Runs `scenario` to completion and returns the per-event time
+    /// series, led by the `"init"` epoch.
+    pub fn run(&mut self, scenario: &Scenario) -> Timeline {
+        let span = obs::span!("dynamics.scenario", name = scenario.name.as_str());
+        let mut timeline = Timeline::new(scenario.name.clone());
+        timeline.records.push(self.init_record().clone());
+        let mut queue = EventQueue::from_events(scenario.events.iter().copied());
+        let mut processed = 0u64;
+        while let Some(ev) = queue.pop() {
+            self.clock.advance_to(ev.at);
+            self.apply(ev.event, &mut queue);
+            obs::counter_add("dynamics.events_processed", 1);
+            processed += 1;
+            timeline.records.push(self.reassign(&ev.event.label(), false));
+        }
+        span.add_items(processed);
+        timeline
+    }
+
+    /// Mutates announcement state for one event. Drain starts schedule
+    /// their own end into the queue.
+    fn apply(&mut self, event: RoutingEvent, queue: &mut EventQueue) {
+        let site_slot = |s: SiteId| {
+            assert!(
+                (s.0 as usize) < self.base.sites.len(),
+                "event targets {s} outside the deployment"
+            );
+            s.0 as usize
+        };
+        match event {
+            RoutingEvent::SiteDown(s) => self.alive[site_slot(s)] = false,
+            RoutingEvent::SiteUp(s) => self.alive[site_slot(s)] = true,
+            RoutingEvent::DrainStart { site, duration_ms } => {
+                self.alive[site_slot(site)] = false;
+                queue.push(self.clock.now().plus_ms(duration_ms), RoutingEvent::DrainEnd(site));
+            }
+            RoutingEvent::DrainEnd(s) => self.alive[site_slot(s)] = true,
+            RoutingEvent::PrefixWithdraw(a) => insert_sorted(&mut self.withdrawn_hosts, a),
+            RoutingEvent::PrefixRestore(a) => remove_sorted(&mut self.withdrawn_hosts, a),
+            RoutingEvent::PeeringDown(a) => insert_sorted(&mut self.lost_peerings, a),
+            RoutingEvent::PeeringUp(a) => remove_sorted(&mut self.lost_peerings, a),
+        }
+    }
+
+    /// The deployment as currently announced: alive sites of
+    /// non-withdrawn hosts, re-id'd densely, with lost peerings merged
+    /// into the withhold list. `None` when nothing is announced. The
+    /// second element maps dense ids back to original ids.
+    fn effective_deployment(&self) -> Option<(Arc<AnycastDeployment>, Vec<SiteId>)> {
+        let mut sites: Vec<AnycastSite> = Vec::new();
+        let mut orig: Vec<SiteId> = Vec::new();
+        for (i, s) in self.base.sites.iter().enumerate() {
+            if self.alive[i] && self.withdrawn_hosts.binary_search(&s.host).is_err() {
+                orig.push(s.id);
+                let mut s = s.clone();
+                s.id = SiteId(sites.len() as u32);
+                sites.push(s);
+            }
+        }
+        if sites.is_empty() {
+            return None;
+        }
+        let mut withhold = self.base.withhold.clone();
+        withhold.extend(self.lost_peerings.iter().copied());
+        withhold.sort_unstable();
+        withhold.dedup();
+        let mut dep = AnycastDeployment::new(self.base.name.clone(), sites, withhold);
+        dep.origin_as = self.base.origin_as;
+        dep.direct_hosts = self.base.direct_hosts.clone();
+        Some((Arc::new(dep), orig))
+    }
+
+    /// Recomputes the catchment over the effective deployment, re-ranks
+    /// the affected users (all of them under [`RecomputeMode::Full`] or
+    /// at init), and closes the epoch.
+    fn reassign(&mut self, label: &str, is_init: bool) -> EpochRecord {
+        let n = self.users.len();
+        // New catchment over whatever is still announced.
+        let (catchment, dense_to_orig) = match self.effective_deployment() {
+            Some((dep, orig)) => {
+                (Some(Catchment::compute_shared(self.graph, dep, &mut self.cache)), orig)
+            }
+            None => (None, Vec::new()),
+        };
+        // Snapshot its origin groups in original site ids.
+        let mut new_groups: DetHashMap<(Asn, ExportScope), GroupSnap> = DetHashMap::default();
+        if let Some(c) = &catchment {
+            for (host, scope) in c.group_keys() {
+                let routes = c.group_routes(host, scope).expect("listed group");
+                let mut sites: Vec<SiteId> = c
+                    .group_sites(host, scope)
+                    .expect("listed group")
+                    .iter()
+                    .map(|s| dense_to_orig[s.0 as usize])
+                    .collect();
+                sites.sort_unstable();
+                new_groups.insert((host, scope), GroupSnap { routes, sites });
+            }
+        }
+
+        // Who must be re-ranked?
+        let affected: Vec<usize> = if is_init || self.mode == RecomputeMode::Full {
+            (0..n).collect()
+        } else {
+            // Diff the group sets. A group whose routes Arc and hosted
+            // sites both survived unchanged ranks and materializes
+            // exactly as before; everything else invalidates its own
+            // users and may challenge others.
+            let mut invalidated: DetHashSet<(Asn, ExportScope)> = DetHashSet::default();
+            let mut challengers: Vec<Arc<OriginRoutes>> = Vec::new();
+            for (k, old) in &self.groups {
+                match new_groups.get(k) {
+                    None => {
+                        invalidated.insert(*k);
+                    }
+                    Some(new) => {
+                        if !Arc::ptr_eq(&old.routes, &new.routes) || old.sites != new.sites {
+                            invalidated.insert(*k);
+                            challengers.push(Arc::clone(&new.routes));
+                        }
+                    }
+                }
+            }
+            for (k, new) in &new_groups {
+                if !self.groups.contains_key(k) {
+                    challengers.push(Arc::clone(&new.routes));
+                }
+            }
+            (0..n)
+                .filter(|&i| {
+                    let src = self.src_idx[i];
+                    match self.states[i].key {
+                        Some(key) => {
+                            invalidated.contains(&(key.host, key.scope))
+                                || challengers.iter().any(|r| {
+                                    r.route_at(src).is_some_and(|nr| {
+                                        key.challenged_by(nr.class, nr.path_len)
+                                    })
+                                })
+                        }
+                        None => challengers.iter().any(|r| r.route_at(src).is_some()),
+                    }
+                })
+                .collect()
+        };
+
+        // Re-rank the affected users on the deterministic parallel
+        // layer; index order of `affected` fixes the merge order.
+        let users = &self.users;
+        let model = &self.model;
+        let results: Vec<Option<UserState>> = match &catchment {
+            Some(c) => par::ordered_map(&affected, |_, &i| {
+                let u = &users[i];
+                c.assign_with_key(u.asn, &u.location).map(|(a, key)| {
+                    let ms = model
+                        .median_rtt_ms(&PathProfile::from_assignment(&a, LastMile::Broadband));
+                    // The withhold-relevant session: the AS the host
+                    // announced to on this path (the hop right before
+                    // the host; None when the user sits inside it).
+                    let host = c.deployment().site(a.site).host;
+                    let via = a
+                        .as_path
+                        .iter()
+                        .position(|&n| n == host)
+                        .and_then(|p| p.checked_sub(1))
+                        .map(|p| a.as_path[p]);
+                    UserState {
+                        site: Some(dense_to_orig[a.site.0 as usize]),
+                        key: Some(key),
+                        via,
+                        latency_ms: ms,
+                        path_km: a.path_km,
+                    }
+                })
+            }),
+            None => vec![None; affected.len()],
+        };
+
+        // Apply the updates and measure the shift.
+        let mut shifted = 0.0;
+        let mut shifted_qpd = 0.0;
+        for (&i, &res) in affected.iter().zip(&results) {
+            let old_site = self.states[i].site;
+            let new = res.unwrap_or(UNSERVED);
+            if !is_init && new.site != old_site {
+                shifted += self.users[i].weight;
+                shifted_qpd += self.users[i].queries_per_day;
+            }
+            self.states[i] = new;
+        }
+        self.groups = new_groups;
+
+        // Epoch aggregates over the full user base, in index order.
+        let mut latency_pts = Vec::new();
+        let mut served_w = 0.0;
+        let mut path_sum = 0.0;
+        for (u, st) in self.users.iter().zip(&self.states) {
+            if st.site.is_some() {
+                served_w += u.weight;
+                path_sum += st.path_km * u.weight;
+                latency_pts.push((st.latency_ms, u.weight));
+            }
+        }
+        let median_ms = weighted_median(&mut latency_pts);
+        let frac = |w: f64| if self.total_weight > 0.0 { w / self.total_weight } else { 0.0 };
+        let shifted_frac = frac(shifted);
+        let unserved_frac = (1.0 - frac(served_w)).max(0.0);
+        let convergence_ms = if shifted > 0.0 {
+            BASE_CONVERGENCE_MS + SHIFT_CONVERGENCE_MS * shifted_frac
+        } else {
+            0.0
+        };
+        let (recomputed, reused) = (affected.len() as u64, (n - affected.len()) as u64);
+        obs::counter_add("dynamics.assign_recomputed", recomputed);
+        obs::counter_add("dynamics.assign_reused", reused);
+        // What a full recompute would have paid for this event — the
+        // denominator of the incremental savings.
+        obs::counter_add("dynamics.full_equiv", n as u64);
+        EpochRecord {
+            t_ms: self.clock.now().as_ms(),
+            event: label.to_string(),
+            shifted,
+            shifted_frac,
+            unserved_frac,
+            median_ms,
+            inflation_ms: match (median_ms, self.baseline_median_ms) {
+                (Some(m), Some(b)) => Some(m - b),
+                _ => None,
+            },
+            mean_path_km: if served_w > 0.0 { Some(path_sum / served_w) } else { None },
+            convergence_ms,
+            degraded_queries: shifted_qpd * convergence_ms / MS_PER_DAY,
+            recomputed,
+            reused,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::{InternetGenerator, SiteScope, TopologyConfig};
+
+    fn world(n_sites: usize) -> (topology::gen::Internet, Arc<AnycastDeployment>, Vec<DynUser>) {
+        let mut net = InternetGenerator::generate(&TopologyConfig::small(111));
+        let hosts = net.sample_hosters(n_sites);
+        let sites: Vec<AnycastSite> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| AnycastSite {
+                id: SiteId(i as u32),
+                name: format!("s{i}"),
+                host: *h,
+                location: net.graph.node(*h).pops[0],
+                scope: SiteScope::Global,
+            })
+            .collect();
+        let dep = AnycastDeployment::new("dyn-test", sites, vec![]);
+        let users: Vec<DynUser> = net
+            .user_locations()
+            .iter()
+            .map(|l| DynUser {
+                asn: l.asn,
+                location: net.world.region(l.region).center,
+                weight: 1.0,
+                queries_per_day: 1_000.0,
+            })
+            .collect();
+        (net, Arc::new(dep), users)
+    }
+
+    fn engine<'g>(
+        net: &'g topology::gen::Internet,
+        dep: &Arc<AnycastDeployment>,
+        users: &[DynUser],
+        mode: RecomputeMode,
+    ) -> DynamicsEngine<'g> {
+        DynamicsEngine::new(
+            &net.graph,
+            Arc::clone(dep),
+            LatencyModel::default(),
+            users.to_vec(),
+            mode,
+        )
+    }
+
+    fn hottest_site(e: &DynamicsEngine<'_>) -> SiteId {
+        let loads = e.site_loads();
+        let i = loads
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        SiteId(i as u32)
+    }
+
+    /// The incremental path must match the full-recompute oracle on
+    /// every metric of every epoch, while provably reusing work.
+    #[test]
+    fn incremental_matches_full_recompute() {
+        let (net, dep, users) = world(4);
+        let mut inc = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let mut full = engine(&net, &dep, &users, RecomputeMode::Full);
+        let target = hottest_site(&inc);
+        let scenario =
+            Scenario::site_flap("flap", target, SimTime::from_secs(60.0), 600_000.0, 3, 30_000.0, 7);
+        let ti = inc.run(&scenario);
+        let tf = full.run(&scenario);
+        assert_eq!(ti.records.len(), tf.records.len());
+        for (a, b) in ti.records.iter().zip(&tf.records) {
+            assert_eq!(a.t_ms, b.t_ms);
+            assert_eq!(a.event, b.event);
+            assert_eq!(a.shifted, b.shifted, "at {}", a.event);
+            assert_eq!(a.unserved_frac, b.unserved_frac, "at {}", a.event);
+            assert_eq!(a.median_ms, b.median_ms, "at {}", a.event);
+            assert_eq!(a.mean_path_km, b.mean_path_km, "at {}", a.event);
+            assert_eq!(a.convergence_ms, b.convergence_ms, "at {}", a.event);
+            assert_eq!(a.degraded_queries, b.degraded_queries, "at {}", a.event);
+        }
+        let (inc_rc, inc_ru) = ti.recompute_totals();
+        let (full_rc, full_ru) = tf.recompute_totals();
+        assert_eq!(full_ru, 0, "the oracle reuses nothing");
+        assert!(inc_ru > 0, "the incremental path must reuse some assignments");
+        assert!(inc_rc < full_rc, "incremental {inc_rc} must beat full {full_rc}");
+        // The flap moved somebody, both ways.
+        assert!(ti.max_shifted_frac() > 0.0);
+    }
+
+    #[test]
+    fn flap_recovers_to_initial_state() {
+        let (net, dep, users) = world(4);
+        let mut e = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let target = hottest_site(&e);
+        let init_median = e.init_record().median_ms;
+        let scenario =
+            Scenario::site_flap("flap", target, SimTime::from_secs(10.0), 120_000.0, 1, 0.0, 3);
+        let t = e.run(&scenario);
+        // init, down, up.
+        assert_eq!(t.records.len(), 3);
+        let down = &t.records[1];
+        assert!(down.shifted > 0.0, "the hottest site's users must move");
+        let up = &t.records[2];
+        assert_eq!(up.median_ms, init_median, "recovery restores the steady state");
+        assert_eq!(up.unserved_frac, t.records[0].unserved_frac);
+    }
+
+    #[test]
+    fn drain_schedules_its_own_end() {
+        let (net, dep, users) = world(3);
+        let mut e = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let sites: Vec<SiteId> = (0..3).map(SiteId).collect();
+        let scenario =
+            Scenario::rolling_drain("mnt", &sites, SimTime::from_secs(5.0), 60_000.0, 90_000.0);
+        let t = e.run(&scenario);
+        // init + 3 starts + 3 ends.
+        assert_eq!(t.records.len(), 7);
+        assert_eq!(t.records.iter().filter(|r| r.event.starts_with("drain-end")).count(), 3);
+        let last = t.records.last().unwrap();
+        assert_eq!(last.unserved_frac, t.records[0].unserved_frac, "drains all end");
+        // Staggered one-at-a-time: never more than one site down, so
+        // nothing is ever unserved beyond the steady state.
+        assert!(t.records.iter().all(|r| r.unserved_frac <= t.records[0].unserved_frac + 1e-12));
+    }
+
+    #[test]
+    fn killing_every_site_unserves_everyone_then_recovers() {
+        let (net, dep, users) = world(3);
+        let mut e = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let mut s = Scenario::new("blackout");
+        for i in 0..3 {
+            s = s.at(SimTime::from_secs(1.0), RoutingEvent::SiteDown(SiteId(i)));
+        }
+        s = s.at(SimTime::from_secs(2.0), RoutingEvent::SiteUp(SiteId(0)));
+        let t = e.run(&s);
+        let dark = &t.records[3];
+        assert_eq!(dark.unserved_frac, 1.0);
+        assert_eq!(dark.median_ms, None);
+        assert_eq!(dark.event, "down site-2");
+        let back = t.records.last().unwrap();
+        assert!(back.unserved_frac < 1.0, "one site back must serve somebody");
+        assert!(back.median_ms.is_some());
+    }
+
+    #[test]
+    fn prefix_withdraw_matches_site_down_for_same_host() {
+        let (net, dep, users) = world(4);
+        // Withdrawing a host's prefix must equal downing all its sites.
+        let host = dep.sites[0].host;
+        let hosted: Vec<SiteId> =
+            dep.sites.iter().filter(|s| s.host == host).map(|s| s.id).collect();
+        let mut by_withdraw = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let mut by_down = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let t1 = by_withdraw.run(
+            &Scenario::new("w").at(SimTime::from_secs(1.0), RoutingEvent::PrefixWithdraw(host)),
+        );
+        let mut s = Scenario::new("d");
+        for &site in &hosted {
+            s = s.at(SimTime::from_secs(1.0), RoutingEvent::SiteDown(site));
+        }
+        let t2 = by_down.run(&s);
+        let a = t1.records.last().unwrap();
+        let b = t2.records.last().unwrap();
+        assert_eq!(a.median_ms, b.median_ms);
+        assert_eq!(a.unserved_frac, b.unserved_frac);
+        assert_eq!(a.mean_path_km, b.mean_path_km);
+    }
+
+    #[test]
+    fn peering_loss_is_applied_and_restored() {
+        let (net, dep, users) = world(4);
+        let mut e = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let init_median = e.init_record().median_ms;
+        // Losing sessions toward a heavy transit AS must not corrupt
+        // state: after restore we are exactly at the steady state.
+        let neighbor = net.graph.node_at(0).asn;
+        let t = e.run(&Scenario::peering_flap("pf", neighbor, SimTime::from_secs(1.0), 60_000.0));
+        assert_eq!(t.records.len(), 3);
+        assert_eq!(t.records[2].median_ms, init_median);
+    }
+}

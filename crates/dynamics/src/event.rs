@@ -1,0 +1,209 @@
+//! Routing events and the deterministic discrete-event queue.
+//!
+//! A [`RoutingEvent`] is one atomic change to a deployment's announced
+//! state — the operational vocabulary of anycast: sites failing and
+//! recovering, operators draining sites for maintenance, whole hosts
+//! withdrawing the prefix, and the deployment losing (or regaining) all
+//! peering sessions toward one neighbor AS. The [`EventQueue`] orders
+//! them by simulated time with insertion order as the tie-break, so a
+//! timeline replays identically on every run — the engine's whole
+//! output hangs off this ordering.
+
+use netsim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use topology::{Asn, SiteId};
+
+/// One atomic routing change applied to a deployment at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RoutingEvent {
+    /// The site fails abruptly and its announcement is withdrawn.
+    SiteDown(SiteId),
+    /// The site recovers and re-announces.
+    SiteUp(SiteId),
+    /// Maintenance drain begins: the site withdraws gracefully and the
+    /// engine schedules the matching [`RoutingEvent::DrainEnd`] itself,
+    /// `duration_ms` later — drains are the one event that generates
+    /// follow-up events inside the simulation.
+    DrainStart {
+        /// Site being drained.
+        site: SiteId,
+        /// How long the drain lasts before the site re-announces.
+        duration_ms: f64,
+    },
+    /// Maintenance drain ends: the site re-announces.
+    DrainEnd(SiteId),
+    /// The host AS withdraws the anycast prefix entirely (all the sites
+    /// it hosts go dark at once).
+    PrefixWithdraw(Asn),
+    /// The host AS re-announces the prefix.
+    PrefixRestore(Asn),
+    /// The deployment loses every peering/transit session toward one
+    /// neighbor AS: all hosts stop announcing to it (the withhold
+    /// machinery of §7.1, flipped from optimization to outage).
+    PeeringDown(Asn),
+    /// Sessions toward the neighbor come back.
+    PeeringUp(Asn),
+}
+
+impl RoutingEvent {
+    /// Short human label for timeline rows, e.g. `"down site-3"`.
+    pub fn label(&self) -> String {
+        match self {
+            RoutingEvent::SiteDown(s) => format!("down {s}"),
+            RoutingEvent::SiteUp(s) => format!("up {s}"),
+            RoutingEvent::DrainStart { site, .. } => format!("drain-start {site}"),
+            RoutingEvent::DrainEnd(s) => format!("drain-end {s}"),
+            RoutingEvent::PrefixWithdraw(a) => format!("withdraw {a}"),
+            RoutingEvent::PrefixRestore(a) => format!("restore {a}"),
+            RoutingEvent::PeeringDown(a) => format!("peering-down {a}"),
+            RoutingEvent::PeeringUp(a) => format!("peering-up {a}"),
+        }
+    }
+}
+
+/// An event bound to a simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledEvent {
+    /// When the event fires.
+    pub at: SimTime,
+    /// What happens.
+    pub event: RoutingEvent,
+}
+
+/// Heap entry: time first, then insertion sequence so simultaneous
+/// events replay in the order they were scheduled.
+#[derive(Debug)]
+struct Queued {
+    at_ms: f64,
+    seq: u64,
+    event: RoutingEvent,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_ms.total_cmp(&other.at_ms) == Ordering::Equal && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest
+        // (time, seq) out first.
+        other
+            .at_ms
+            .total_cmp(&self.at_ms)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of [`ScheduledEvent`]s.
+///
+/// Ordering is `(time, insertion sequence)`: ties in simulated time
+/// resolve to whichever event was pushed first, never to heap
+/// internals, so the replay order is a pure function of the pushes.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Queued>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a queue from a scenario's event list (pushed in order, so
+    /// list order breaks simultaneous-event ties).
+    pub fn from_events(events: impl IntoIterator<Item = ScheduledEvent>) -> Self {
+        let mut q = Self::new();
+        for e in events {
+            q.push(e.at, e.event);
+        }
+        q
+    }
+
+    /// Schedules `event` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN times — an event must fire at a real instant.
+    pub fn push(&mut self, at: SimTime, event: RoutingEvent) {
+        assert!(!at.as_ms().is_nan(), "event time must not be NaN");
+        self.heap.push(Queued { at_ms: at.as_ms(), seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap
+            .pop()
+            .map(|q| ScheduledEvent { at: SimTime(q.at_ms), event: q.event })
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(30.0), RoutingEvent::SiteUp(SiteId(0)));
+        q.push(SimTime::from_secs(10.0), RoutingEvent::SiteDown(SiteId(0)));
+        q.push(SimTime::from_secs(20.0), RoutingEvent::PeeringDown(Asn(9)));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.as_secs()).collect();
+        assert_eq!(order, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        q.push(t, RoutingEvent::SiteDown(SiteId(1)));
+        q.push(t, RoutingEvent::SiteDown(SiteId(2)));
+        q.push(t, RoutingEvent::SiteDown(SiteId(0)));
+        let order: Vec<RoutingEvent> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(
+            order,
+            vec![
+                RoutingEvent::SiteDown(SiteId(1)),
+                RoutingEvent::SiteDown(SiteId(2)),
+                RoutingEvent::SiteDown(SiteId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_are_short_and_stable() {
+        assert_eq!(RoutingEvent::SiteDown(SiteId(3)).label(), "down site-3");
+        assert_eq!(RoutingEvent::PeeringDown(Asn(42)).label(), "peering-down AS42");
+        assert_eq!(
+            RoutingEvent::DrainStart { site: SiteId(1), duration_ms: 5.0 }.label(),
+            "drain-start site-1"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_event_time_panics() {
+        EventQueue::new().push(SimTime(f64::NAN), RoutingEvent::SiteUp(SiteId(0)));
+    }
+}

@@ -1,0 +1,29 @@
+//! Routing dynamics: deterministic discrete-event simulation of
+//! anycast deployments under operational churn.
+//!
+//! The static pipeline answers "where does traffic land?"; this crate
+//! answers "what happens while that answer is changing?". A
+//! [`Scenario`] scripts routing events — site failures and recoveries,
+//! maintenance drains, prefix withdrawals, peering losses — onto
+//! `netsim`'s simulated clock; the [`DynamicsEngine`] replays them over
+//! a deployment and emits a per-event [`Timeline`]: users shifted,
+//! latency inflation, stylized convergence time, queries landing
+//! degraded, and how much per-user work the engine's incremental
+//! recomputation saved over a full sweep.
+//!
+//! Everything is deterministic: the event queue breaks time ties by
+//! insertion order, jitter derives from `par`'s per-index seed streams,
+//! and re-ranking fans out on `par::ordered_map` — so a scenario's
+//! timeline is byte-identical at any `--threads` value.
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod scenario;
+pub mod timeline;
+
+pub use engine::{DynUser, DynamicsEngine, RecomputeMode};
+pub use event::{EventQueue, RoutingEvent, ScheduledEvent};
+pub use scenario::{jitter_frac, Scenario};
+pub use timeline::{weighted_median, EpochRecord, Timeline};

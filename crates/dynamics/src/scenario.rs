@@ -1,0 +1,207 @@
+//! The scenario DSL: named, seeded timelines of routing events.
+//!
+//! A [`Scenario`] is a plain event list with a name — no interpreter,
+//! no strings to parse. Builders cover the operational patterns the
+//! experiments script: a flapping site, rolling maintenance drains
+//! across a CDN ring, a correlated regional outage, and the loss of all
+//! sessions toward one neighbor AS. Timing jitter is derived from
+//! [`par::seed_for`] per event index, so a scenario is a pure function
+//! of `(inputs, seed)` and replays byte-identically at any thread
+//! count.
+
+use crate::event::{RoutingEvent, ScheduledEvent};
+use geo::GeoPoint;
+use netsim::SimTime;
+use serde::{Deserialize, Serialize};
+use topology::{AnycastDeployment, Asn, SiteId};
+
+/// A named timeline of routing events to drive one deployment through.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (shows up in spans and timeline artifacts).
+    pub name: String,
+    /// The scripted events. Order matters only for simultaneous events
+    /// (the queue breaks time ties by insertion order).
+    pub events: Vec<ScheduledEvent>,
+}
+
+/// Deterministic jitter fraction in `[0, 1)` for event `index` of the
+/// scenario seeded by `seed` — [`par::seed_for`]'s per-index stream
+/// mapped onto the unit interval.
+pub fn jitter_frac(seed: u64, index: u64) -> f64 {
+    (par::seed_for(seed, index) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl Scenario {
+    /// An empty scenario.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), events: Vec::new() }
+    }
+
+    /// Appends one event (builder style).
+    pub fn at(mut self, t: SimTime, event: RoutingEvent) -> Self {
+        self.events.push(ScheduledEvent { at: t, event });
+        self
+    }
+
+    /// A site that flaps `flaps` times: down at
+    /// `start + k·period ± jitter`, back up half a period later. Each
+    /// edge gets independent jitter of up to `jitter_ms` (from `seed`),
+    /// capped below a quarter period so down/up edges never reorder.
+    pub fn site_flap(
+        name: impl Into<String>,
+        site: SiteId,
+        start: SimTime,
+        period_ms: f64,
+        flaps: usize,
+        jitter_ms: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(period_ms > 0.0, "flap period must be positive");
+        let jitter_ms = jitter_ms.min(period_ms / 4.0 - 1.0).max(0.0);
+        let mut s = Self::new(name);
+        for k in 0..flaps {
+            let base = start.plus_ms(k as f64 * period_ms);
+            let down = base.plus_ms(jitter_ms * jitter_frac(seed, 2 * k as u64));
+            let up = base
+                .plus_ms(period_ms / 2.0)
+                .plus_ms(jitter_ms * jitter_frac(seed, 2 * k as u64 + 1));
+            s = s.at(down, RoutingEvent::SiteDown(site)).at(up, RoutingEvent::SiteUp(site));
+        }
+        s
+    }
+
+    /// Rolling maintenance: each listed site drains for `drain_ms`,
+    /// with starts staggered `stagger_ms` apart (the classic one-at-a-
+    /// time CDN ring maintenance loop). Drain ends are scheduled by the
+    /// engine when each [`RoutingEvent::DrainStart`] fires.
+    pub fn rolling_drain(
+        name: impl Into<String>,
+        sites: &[SiteId],
+        start: SimTime,
+        drain_ms: f64,
+        stagger_ms: f64,
+    ) -> Self {
+        assert!(drain_ms > 0.0, "drain duration must be positive");
+        let mut s = Self::new(name);
+        for (k, &site) in sites.iter().enumerate() {
+            s = s.at(
+                start.plus_ms(k as f64 * stagger_ms),
+                RoutingEvent::DrainStart { site, duration_ms: drain_ms },
+            );
+        }
+        s
+    }
+
+    /// A correlated regional outage: every site of `deployment` within
+    /// `radius_km` of `center` fails within a `jitter_ms` window after
+    /// `start` (cascading, not instantaneous) and recovers after
+    /// `duration_ms`, again with per-site jitter. Returns the scenario
+    /// and the affected site ids (empty if the radius catches nothing).
+    pub fn regional_outage(
+        name: impl Into<String>,
+        deployment: &AnycastDeployment,
+        center: &GeoPoint,
+        radius_km: f64,
+        start: SimTime,
+        duration_ms: f64,
+        jitter_ms: f64,
+        seed: u64,
+    ) -> (Self, Vec<SiteId>) {
+        let mut s = Self::new(name);
+        let mut hit = Vec::new();
+        for site in &deployment.sites {
+            if site.location.distance_km(center) <= radius_km {
+                hit.push(site.id);
+            }
+        }
+        for (k, &site) in hit.iter().enumerate() {
+            let down = start.plus_ms(jitter_ms * jitter_frac(seed, 2 * k as u64));
+            let up = start
+                .plus_ms(duration_ms)
+                .plus_ms(jitter_ms * jitter_frac(seed, 2 * k as u64 + 1));
+            s = s.at(down, RoutingEvent::SiteDown(site)).at(up, RoutingEvent::SiteUp(site));
+        }
+        (s, hit)
+    }
+
+    /// Loss of every session toward `neighbor` from `start`, restored
+    /// `duration_ms` later.
+    pub fn peering_flap(
+        name: impl Into<String>,
+        neighbor: Asn,
+        start: SimTime,
+        duration_ms: f64,
+    ) -> Self {
+        Self::new(name)
+            .at(start, RoutingEvent::PeeringDown(neighbor))
+            .at(start.plus_ms(duration_ms), RoutingEvent::PeeringUp(neighbor))
+    }
+
+    /// The latest scripted event time (drain ends scheduled at run time
+    /// may extend past this).
+    pub fn horizon(&self) -> SimTime {
+        SimTime(
+            self.events
+                .iter()
+                .map(|e| e.at.as_ms())
+                .fold(0.0, f64::max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        for i in 0..100 {
+            let f = jitter_frac(2021, i);
+            assert!((0.0..1.0).contains(&f));
+            assert_eq!(f, jitter_frac(2021, i));
+        }
+        assert_ne!(jitter_frac(2021, 0), jitter_frac(2021, 1));
+        assert_ne!(jitter_frac(2021, 0), jitter_frac(2022, 0));
+    }
+
+    #[test]
+    fn site_flap_alternates_down_up() {
+        let s = Scenario::site_flap(
+            "flap",
+            SiteId(2),
+            SimTime::from_secs(60.0),
+            600_000.0,
+            3,
+            30_000.0,
+            7,
+        );
+        assert_eq!(s.events.len(), 6);
+        for pair in s.events.chunks(2) {
+            assert!(matches!(pair[0].event, RoutingEvent::SiteDown(SiteId(2))));
+            assert!(matches!(pair[1].event, RoutingEvent::SiteUp(SiteId(2))));
+            assert!(pair[0].at < pair[1].at, "down precedes up within a flap");
+        }
+        assert!(s.horizon().as_ms() >= 60_000.0 + 2.0 * 600_000.0);
+    }
+
+    #[test]
+    fn rolling_drain_staggers_starts() {
+        let sites = [SiteId(0), SiteId(1), SiteId(2)];
+        let s = Scenario::rolling_drain("mnt", &sites, SimTime::ZERO, 300_000.0, 120_000.0);
+        assert_eq!(s.events.len(), 3);
+        assert_eq!(s.events[1].at.as_ms() - s.events[0].at.as_ms(), 120_000.0);
+        assert!(matches!(
+            s.events[0].event,
+            RoutingEvent::DrainStart { site: SiteId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn peering_flap_brackets_the_outage() {
+        let s = Scenario::peering_flap("pf", Asn(9), SimTime::from_hours(1.0), 1800_000.0);
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].at.as_secs(), 3600.0);
+        assert_eq!(s.events[1].at.as_secs(), 5400.0);
+    }
+}

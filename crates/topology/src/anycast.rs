@@ -320,9 +320,52 @@ impl RouteCache {
 #[derive(Debug, Clone)]
 struct OriginGroup {
     host: Asn,
+    scope: ExportScope,
     routes: Arc<OriginRoutes>,
     /// Sites announced by this origin under this scope.
     sites: Vec<SiteId>,
+}
+
+/// The BGP decision key of one candidate origin group for one source:
+/// everything the decision process compares *before* any path is
+/// materialized. Computing keys is cheap (no waypoint resolution), so
+/// incremental layers use them to decide whether a routing change can
+/// possibly move a source before paying for a full reassignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateKey {
+    /// Local-preference class of the group's route at the source.
+    pub class: RouteClass,
+    /// AS-path length of that route (source and origin included).
+    pub path_len: u32,
+    /// Early-exit cost: km from the source's serving PoP to the chosen
+    /// first-hop interconnect (0 when the source is the origin).
+    pub exit_km: f64,
+    /// Host AS of the candidate group.
+    pub host: Asn,
+    /// Announcement scope of the candidate group.
+    pub scope: ExportScope,
+}
+
+impl CandidateKey {
+    /// Whether a challenger route of `(class, path_len)` could beat or
+    /// tie this key in the BGP decision process. Geography-blind on
+    /// purpose: class and length decide first, and a tie on both falls
+    /// to the early-exit comparison — which requires a full reassignment
+    /// anyway. Used as a sound pre-filter: `false` guarantees the
+    /// challenger loses.
+    pub fn challenged_by(&self, class: RouteClass, path_len: u32) -> bool {
+        class > self.class || (class == self.class && path_len <= self.path_len)
+    }
+}
+
+/// One ranked candidate during the decision process: a group, the
+/// comparison key, and the first hop the early-exit tie-break selected.
+struct Cand<'a> {
+    group: &'a OriginGroup,
+    class: RouteClass,
+    len: u32,
+    exit_km: f64,
+    first: Option<crate::bgp::FirstHop>,
 }
 
 /// Computed catchments of one deployment over one graph. `Send + Sync`:
@@ -376,6 +419,7 @@ impl<'g> Catchment<'g> {
             .into_iter()
             .map(|(host, scope)| OriginGroup {
                 host,
+                scope,
                 routes: cache.get(graph, host, scope, &deployment.withhold),
                 sites: std::mem::take(grouped.get_mut(&(host, scope)).expect("grouped key")),
             })
@@ -387,6 +431,7 @@ impl<'g> Catchment<'g> {
             if graph.get(origin).is_some() && !groups.iter().any(|g| g.host == origin) {
                 groups.push(OriginGroup {
                     host: origin,
+                    scope: ExportScope::Global,
                     routes: cache.get(graph, origin, ExportScope::Global, &deployment.withhold),
                     sites: deployment.sites.iter().map(|s| s.id).collect(),
                 });
@@ -425,17 +470,88 @@ impl<'g> Catchment<'g> {
     pub fn ranked_top(&self, src: Asn, user_loc: &GeoPoint, k: usize) -> Vec<SiteAssignment> {
         let src_idx = self.graph.idx(src);
         let serving = self.graph.serving_pop(src, user_loc);
+        self.candidates(src_idx, &serving)
+            .into_iter()
+            .take(k)
+            .filter_map(|c| self.materialize(src_idx, user_loc, &serving, c.group, c.first))
+            .collect()
+    }
 
-        struct Cand<'a> {
-            group: &'a OriginGroup,
-            class: RouteClass,
-            len: u32,
-            /// Early-exit cost: km from serving PoP to the chosen
-            /// first-hop interconnect (0 when src *is* the origin).
-            exit_km: f64,
-            first: Option<crate::bgp::FirstHop>,
+    /// The best assignment together with its [`CandidateKey`], in one
+    /// ranking pass. Incremental layers store the key alongside the
+    /// assignment so later routing changes can be pre-filtered with
+    /// [`CandidateKey::challenged_by`] instead of re-ranking every source.
+    pub fn assign_with_key(
+        &self,
+        src: Asn,
+        user_loc: &GeoPoint,
+    ) -> Option<(SiteAssignment, CandidateKey)> {
+        let src_idx = self.graph.idx(src);
+        let serving = self.graph.serving_pop(src, user_loc);
+        for c in self.candidates(src_idx, &serving) {
+            let key = CandidateKey {
+                class: c.class,
+                path_len: c.len,
+                exit_km: c.exit_km,
+                host: c.group.host,
+                scope: c.group.scope,
+            };
+            if let Some(a) = self.materialize(src_idx, user_loc, &serving, c.group, c.first) {
+                return Some((a, key));
+            }
         }
+        None
+    }
 
+    /// Decision keys of every reachable candidate group for `src` at
+    /// `user_loc`, best first — the ranking of [`Catchment::ranked`]
+    /// without any path materialization.
+    pub fn candidate_keys(&self, src: Asn, user_loc: &GeoPoint) -> Vec<CandidateKey> {
+        let src_idx = self.graph.idx(src);
+        let serving = self.graph.serving_pop(src, user_loc);
+        self.candidates(src_idx, &serving)
+            .into_iter()
+            .map(|c| CandidateKey {
+                class: c.class,
+                path_len: c.len,
+                exit_km: c.exit_km,
+                host: c.group.host,
+                scope: c.group.scope,
+            })
+            .collect()
+    }
+
+    /// The origin groups of this catchment, as `(host, scope)` keys in
+    /// their internal (deterministic) order. One BGP computation backs
+    /// each group; incremental layers diff successive catchments at this
+    /// granularity.
+    pub fn group_keys(&self) -> Vec<(Asn, ExportScope)> {
+        self.groups.iter().map(|g| (g.host, g.scope)).collect()
+    }
+
+    /// Shared handle to the origin routes backing group `(host, scope)`,
+    /// if such a group exists. `Arc::ptr_eq` on two catchments' handles
+    /// proves the underlying BGP computation was reused unchanged.
+    pub fn group_routes(&self, host: Asn, scope: ExportScope) -> Option<Arc<OriginRoutes>> {
+        self.groups
+            .iter()
+            .find(|g| g.host == host && g.scope == scope)
+            .map(|g| Arc::clone(&g.routes))
+    }
+
+    /// The sites announced by group `(host, scope)`, if such a group
+    /// exists.
+    pub fn group_sites(&self, host: Asn, scope: ExportScope) -> Option<&[SiteId]> {
+        self.groups
+            .iter()
+            .find(|g| g.host == host && g.scope == scope)
+            .map(|g| g.sites.as_slice())
+    }
+
+    /// Collects and ranks every reachable candidate group for one
+    /// source: the shared core of [`Catchment::ranked_top`],
+    /// [`Catchment::assign_with_key`], and [`Catchment::candidate_keys`].
+    fn candidates(&self, src_idx: usize, serving: &GeoPoint) -> Vec<Cand<'_>> {
         let mut cands: Vec<Cand<'_>> = Vec::new();
         for group in &self.groups {
             let Some(route) = group.routes.route_at(src_idx) else {
@@ -451,7 +567,7 @@ impl<'g> Catchment<'g> {
                 .first_hops
                 .iter()
                 .map(|fh| {
-                    let x = self.graph.nearest_interconnect(fh.link, &serving);
+                    let x = self.graph.nearest_interconnect(fh.link, serving);
                     (serving.distance_km(&x), *fh)
                 })
                 .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -468,12 +584,7 @@ impl<'g> Catchment<'g> {
                 .then(a.exit_km.partial_cmp(&b.exit_km).unwrap_or(std::cmp::Ordering::Equal))
                 .then(a.group.host.cmp(&b.group.host))
         });
-
         cands
-            .into_iter()
-            .take(k)
-            .filter_map(|c| self.materialize(src_idx, user_loc, &serving, c.group, c.first))
-            .collect()
     }
 
     /// Builds the full assignment for one candidate group: reconstruct the
@@ -727,5 +838,73 @@ mod tests {
     #[should_panic(expected = "dense")]
     fn non_dense_site_ids_panic() {
         AnycastDeployment::new("bad", vec![site(1, 10, 0.0, SiteScope::Global)], vec![]);
+    }
+
+    #[test]
+    fn assign_with_key_matches_assign() {
+        let (g, dep) = inflation_world();
+        let mut cache = RouteCache::new();
+        let c = Catchment::compute(&g, &dep, &mut cache);
+        let plain = c.assign(Asn(1), &p(0.0)).unwrap();
+        let (a, key) = c.assign_with_key(Asn(1), &p(0.0)).unwrap();
+        assert_eq!(a.site, plain.site);
+        assert_eq!(a.as_path, plain.as_path);
+        assert_eq!(key.host, Asn(10), "winning group is the 2-AS host");
+        assert_eq!(key.class, a.class);
+        assert_eq!(key.path_len, 2);
+        assert_eq!(key.scope, ExportScope::Global);
+    }
+
+    #[test]
+    fn candidate_keys_rank_like_ranked() {
+        let (g, dep) = inflation_world();
+        let mut cache = RouteCache::new();
+        let c = Catchment::compute(&g, &dep, &mut cache);
+        let keys = c.candidate_keys(Asn(1), &p(0.0));
+        let ranked = c.ranked(Asn(1), &p(0.0));
+        assert_eq!(keys.len(), ranked.len());
+        for (k, a) in keys.iter().zip(&ranked) {
+            assert_eq!(k.class, a.class);
+            assert_eq!(k.path_len as usize, a.as_path_len());
+        }
+        assert!(keys[0].path_len < keys[1].path_len);
+    }
+
+    #[test]
+    fn challenged_by_is_a_sound_prefilter() {
+        let key = CandidateKey {
+            class: RouteClass::Peer,
+            path_len: 3,
+            exit_km: 10.0,
+            host: Asn(10),
+            scope: ExportScope::Global,
+        };
+        // Better class, or same class with same-or-shorter path: challenge.
+        assert!(key.challenged_by(RouteClass::Customer, 9));
+        assert!(key.challenged_by(RouteClass::Peer, 3));
+        assert!(key.challenged_by(RouteClass::Peer, 2));
+        // Strictly worse on (class, len): can never win.
+        assert!(!key.challenged_by(RouteClass::Peer, 4));
+        assert!(!key.challenged_by(RouteClass::Provider, 2));
+    }
+
+    #[test]
+    fn group_accessors_expose_origin_groups() {
+        let (g, dep) = inflation_world();
+        let mut cache = RouteCache::new();
+        let c = Catchment::compute(&g, &dep, &mut cache);
+        let keys = c.group_keys();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&(Asn(10), ExportScope::Global)));
+        assert!(keys.contains(&(Asn(21), ExportScope::Global)));
+        assert_eq!(c.group_sites(Asn(10), ExportScope::Global).unwrap(), &[SiteId(0)]);
+        assert!(c.group_routes(Asn(10), ExportScope::Global).is_some());
+        assert!(c.group_routes(Asn(10), ExportScope::Local).is_none());
+        // Recomputing over the same cache reuses the same routes Arc.
+        let c2 = Catchment::compute(&g, &dep, &mut cache);
+        assert!(Arc::ptr_eq(
+            &c.group_routes(Asn(10), ExportScope::Global).unwrap(),
+            &c2.group_routes(Asn(10), ExportScope::Global).unwrap()
+        ));
     }
 }

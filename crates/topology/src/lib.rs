@@ -40,9 +40,12 @@ pub mod infer;
 pub mod prefix;
 pub mod waypoints;
 
-pub use anycast::{AnycastDeployment, AnycastSite, Catchment, RouteCache, SiteAssignment, SiteId, SiteScope};
+pub use anycast::{
+    AnycastDeployment, AnycastSite, CandidateKey, Catchment, RouteCache, SiteAssignment, SiteId,
+    SiteScope,
+};
 pub use asn::{AsKind, Asn, OrgId};
-pub use bgp::{RouteClass, RouteComputer};
+pub use bgp::{ExportScope, OriginRoutes, RouteClass, RouteComputer};
 pub use gen::{InternetGenerator, TopologyConfig};
 pub use infer::{infer_relationships, score_inference, InferenceAccuracy, InferredRel};
 pub use graph::{AsGraph, AsNode, Relationship};

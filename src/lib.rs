@@ -43,6 +43,7 @@
 //! | [`cdn`] | rings, server logs, client measurements, page-load study |
 //! | [`workload`] | user populations, DITL campaign, Atlas panel, geolocation |
 //! | [`analysis`] | Eq. 1–3, amortization, joins, path-length pipeline |
+//! | [`dynamics`] | discrete-event routing dynamics, incremental catchment recompute |
 //! | [`core`] | world builder, experiment registry, renderers |
 
 pub use anycast_core::{experiments, Artifact, World, WorldConfig};
@@ -53,6 +54,7 @@ pub use obs;
 pub use par;
 pub use cdn;
 pub use dns;
+pub use dynamics;
 pub use geo;
 pub use netsim;
 pub use topology;
