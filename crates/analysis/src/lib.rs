@@ -50,7 +50,10 @@ pub use join::{join_by_asn, join_by_ip, join_by_prefix, JoinKey, JoinStats, Join
 pub use paths::{inflation_by_path_length, org_path_length, PathLenClass, PathLengthDist};
 pub use preprocess::{preprocess, CleanDitl, FilterOptions, FilterStats};
 pub use locals::{local_site_study, LocalSiteStudy};
-pub use resilience::{simulate_attack, AttackOutcome, AttackSpec, TrafficSource};
+pub use resilience::{
+    simulate_attack, simulate_attack_capacitated, AttackOutcome, AttackSpec, SiteCapacities,
+    TrafficSource,
+};
 pub use stats::{median, BoxStats, WeightedCdf};
 pub use te::{optimize_withholds, TeResult};
 pub use unicast::{unicast_study, UnicastStudy};

@@ -50,6 +50,109 @@ impl AttackSpec {
     }
 }
 
+/// Per-site load limits of one deployment — the capacity side of every
+/// load-coupled simulation in the repo (DDoS cascades here, load-aware
+/// drains in `dynamics`).
+///
+/// Capacities are indexed by [`SiteId`] in the deployment's *original*
+/// (dense) ids and expressed in the same units as the traffic sources'
+/// load (user weight). Queries never allocate, so engines can consult
+/// them per epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteCapacities {
+    caps: Vec<f64>,
+}
+
+impl SiteCapacities {
+    /// The same capacity for each of `n_sites` sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cap` is positive and finite.
+    pub fn uniform(n_sites: usize, cap: f64) -> Self {
+        Self::from_per_site(vec![cap; n_sites])
+    }
+
+    /// Per-site capacities, indexed by site id.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every capacity is positive and finite.
+    pub fn from_per_site(caps: Vec<f64>) -> Self {
+        assert!(
+            caps.iter().all(|c| c.is_finite() && *c > 0.0),
+            "sites need positive finite capacity"
+        );
+        Self { caps }
+    }
+
+    /// Capacities proportional to a measured load profile: site `i` gets
+    /// `loads[i] * factor`, floored at `floor` so an idle site can still
+    /// absorb shifted traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` and `floor` are positive and finite.
+    pub fn from_headroom(loads: &[f64], factor: f64, floor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "headroom factor must be positive");
+        assert!(floor.is_finite() && floor > 0.0, "capacity floor must be positive");
+        Self::from_per_site(loads.iter().map(|l| (l * factor).max(floor)).collect())
+    }
+
+    /// Number of sites covered.
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// The load limit of `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside the table.
+    pub fn capacity(&self, site: SiteId) -> f64 {
+        self.caps[site.0 as usize]
+    }
+
+    /// Remaining absolute headroom of `site` under `load` (negative when
+    /// overloaded).
+    pub fn headroom(&self, site: SiteId, load: f64) -> f64 {
+        self.capacity(site) - load
+    }
+
+    /// The lowest-id site in `sites` whose entry in `loads` (indexed by
+    /// site id) exceeds its capacity, with that load — the abort trigger
+    /// of a load-aware drain. `None` when every listed site fits.
+    pub fn first_overloaded(
+        &self,
+        loads: &[f64],
+        sites: impl IntoIterator<Item = SiteId>,
+    ) -> Option<(SiteId, f64)> {
+        sites
+            .into_iter()
+            .find(|s| loads[s.0 as usize] > self.capacity(*s))
+            .map(|s| (s, loads[s.0 as usize]))
+    }
+
+    /// The worst relative headroom `(cap - load) / cap` across `sites`
+    /// (negative when something is overloaded), or `None` when `sites`
+    /// is empty.
+    pub fn min_headroom_frac(
+        &self,
+        loads: &[f64],
+        sites: impl IntoIterator<Item = SiteId>,
+    ) -> Option<f64> {
+        sites
+            .into_iter()
+            .map(|s| self.headroom(s, loads[s.0 as usize]) / self.capacity(s))
+            .min_by(|a, b| a.total_cmp(b))
+    }
+}
+
 /// Outcome of one attack simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AttackOutcome {
@@ -72,7 +175,8 @@ impl AttackOutcome {
     }
 }
 
-/// Simulates `attack` against `deployment`.
+/// Simulates `attack` against `deployment` with one uniform per-site
+/// capacity — a convenience wrapper over [`simulate_attack_capacitated`].
 ///
 /// `users` carries the legitimate load (weight = users); `capacity` is
 /// each site's load limit in the same units (legit + attack combined).
@@ -86,7 +190,33 @@ pub fn simulate_attack(
     attack: &AttackSpec,
     capacity_per_site: f64,
 ) -> AttackOutcome {
-    assert!(capacity_per_site > 0.0, "sites need positive capacity");
+    assert!(
+        capacity_per_site.is_finite() && capacity_per_site > 0.0,
+        "sites need positive capacity"
+    );
+    let caps = SiteCapacities::uniform(deployment.sites.len(), capacity_per_site);
+    simulate_attack_capacitated(graph, deployment, model, users, attack, &caps)
+}
+
+/// Simulates `attack` against `deployment` under per-site capacities
+/// (indexed by the deployment's original site ids).
+///
+/// # Panics
+///
+/// Panics when `caps` does not cover every site of the deployment.
+pub fn simulate_attack_capacitated(
+    graph: &AsGraph,
+    deployment: &AnycastDeployment,
+    model: &LatencyModel,
+    users: &[TrafficSource],
+    attack: &AttackSpec,
+    caps: &SiteCapacities,
+) -> AttackOutcome {
+    assert_eq!(
+        caps.len(),
+        deployment.sites.len(),
+        "capacity table must cover every site"
+    );
     let mut cache = RouteCache::new();
 
     // Baseline latency with the full deployment.
@@ -150,10 +280,11 @@ pub fn simulate_attack(
         }
 
         // Collapse every overloaded site this round (simultaneous, like
-        // a volumetric attack hitting all catchments at once).
+        // a volumetric attack hitting all catchments at once). Capacity
+        // lookup is by *original* site id.
         let mut failed_this_round: Vec<SiteId> = load
             .iter()
-            .filter(|(_, l)| **l > capacity_per_site)
+            .filter(|(s, l)| **l > caps.capacity(original[s.0 as usize]))
             .map(|(s, _)| *s)
             .collect();
         failed_this_round.sort();
@@ -390,6 +521,59 @@ mod tests {
             (served + unserved - total).abs() < 1e-6,
             "volume must be conserved: served {served} + unserved {unserved} != total {total}"
         );
+    }
+
+    #[test]
+    fn capacities_answer_headroom_queries() {
+        let caps = SiteCapacities::from_per_site(vec![100.0, 50.0, 200.0]);
+        assert_eq!(caps.len(), 3);
+        assert!(!caps.is_empty());
+        assert_eq!(caps.capacity(SiteId(1)), 50.0);
+        assert_eq!(caps.headroom(SiteId(0), 60.0), 40.0);
+
+        let loads = [60.0, 55.0, 10.0];
+        let all = [SiteId(0), SiteId(1), SiteId(2)];
+        // Only site 1 is over (55 > 50); strictly-greater means an exact
+        // fit does not trigger.
+        assert_eq!(caps.first_overloaded(&loads, all), Some((SiteId(1), 55.0)));
+        assert_eq!(caps.first_overloaded(&[100.0, 50.0, 200.0], all), None);
+        let min = caps.min_headroom_frac(&loads, all).unwrap();
+        assert!((min - (50.0 - 55.0) / 50.0).abs() < 1e-12, "got {min}");
+        assert_eq!(caps.min_headroom_frac(&loads, []), None);
+    }
+
+    #[test]
+    fn headroom_constructor_scales_and_floors() {
+        let caps = SiteCapacities::from_headroom(&[100.0, 0.0], 1.5, 10.0);
+        assert_eq!(caps.capacity(SiteId(0)), 150.0);
+        assert_eq!(caps.capacity(SiteId(1)), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn non_finite_capacity_panics() {
+        SiteCapacities::from_per_site(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn uniform_capacities_match_the_scalar_wrapper() {
+        let (net, dep, users) = setup(5);
+        let total: f64 = users.iter().map(|u| u.load).sum();
+        let attack = attack_from(&users, 4, total * 1.2);
+        let model = LatencyModel::default();
+        let cap = total * 0.7;
+        let scalar = simulate_attack(&net.graph, &dep, &model, &users, &attack, cap);
+        let table = simulate_attack_capacitated(
+            &net.graph,
+            &dep,
+            &model,
+            &users,
+            &attack,
+            &SiteCapacities::uniform(dep.sites.len(), cap),
+        );
+        assert_eq!(scalar.withdrawn_sites, table.withdrawn_sites);
+        assert_eq!(scalar.rounds, table.rounds);
+        assert!((scalar.unserved_user_fraction - table.unserved_user_fraction).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Load-aware drain cost: what staged withhold escalation and the
+//! per-stage capacity check add on top of a binary drain.
+//!
+//! Both runs drain the busiest root letter's hottest site and recover
+//! it; the staged variant escalates through three withhold stages with
+//! a post-stage load check against per-site capacities, the binary
+//! variant (stages = 1) downs the site in one epoch. The gap is the
+//! price of the gradual-drain machinery per maintenance window.
+
+use anycast_bench::bench_world;
+use anycast_core::World;
+use analysis::SiteCapacities;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynamics::{DynUser, DynamicsEngine, RecomputeMode, Scenario};
+use netsim::SimTime;
+use std::sync::Arc;
+use topology::SiteId;
+
+fn dyn_users(world: &World) -> Vec<DynUser> {
+    let total_users = world.population.total_users();
+    let total_qpd = world.ditl.total_queries_per_day();
+    world
+        .population
+        .locations
+        .iter()
+        .map(|l| DynUser {
+            asn: l.asn,
+            location: world.internet.world.region(l.region).center,
+            weight: l.users,
+            queries_per_day: if total_users > 0.0 {
+                total_qpd * l.users / total_users
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+fn engine(world: &World) -> DynamicsEngine<'_> {
+    let letter = world
+        .letters
+        .letters
+        .iter()
+        .max_by_key(|l| l.deployment.global_site_count())
+        .expect("letters exist");
+    DynamicsEngine::new(
+        &world.internet.graph,
+        Arc::clone(&letter.deployment),
+        world.model.clone(),
+        dyn_users(world),
+        RecomputeMode::Incremental,
+    )
+}
+
+fn hottest_site(eng: &DynamicsEngine<'_>) -> SiteId {
+    let loads = eng.site_loads();
+    let mut best = 0usize;
+    for (i, l) in loads.iter().enumerate() {
+        if *l > loads[best] {
+            best = i;
+        }
+    }
+    SiteId(best as u32)
+}
+
+fn drain_scenario(name: &str, target: SiteId, stages: u32) -> Scenario {
+    Scenario::gradual_drain(name, target, SimTime::from_secs(30.0), 60_000.0, stages, 300_000.0)
+}
+
+fn bench(c: &mut Criterion) {
+    let world = bench_world();
+    let n_sites = {
+        let probe = engine(&world);
+        probe.deployment().sites.len()
+    };
+    let capacities = |world: &World| {
+        let probe = engine(world);
+        let total: f64 = probe.site_loads().iter().sum();
+        SiteCapacities::uniform(n_sites, total.max(1.0))
+    };
+    let mut staged = engine(&world).with_capacities(capacities(&world));
+    let mut binary = engine(&world).with_capacities(capacities(&world));
+    let target = hottest_site(&staged);
+    // Generous capacity: every drain completes and ends back at
+    // baseline, so the engines can be reused across iterations.
+    let staged_scenario = drain_scenario("bench-drain-staged", target, 3);
+    let binary_scenario = drain_scenario("bench-drain-binary", target, 1);
+
+    let mut group = c.benchmark_group("dynamics_drain");
+    group.sample_size(10);
+    group.bench_function("staged_3", |b| {
+        b.iter(|| criterion::black_box(staged.run(&staged_scenario)).records.len())
+    });
+    group.bench_function("binary", |b| {
+        b.iter(|| criterion::black_box(binary.run(&binary_scenario)).records.len())
+    });
+    group.finish();
+
+    // Sanity outside the timing loop: the staged run escalates through
+    // more epochs than the binary one and both restore the baseline.
+    let t_staged = staged.run(&staged_scenario);
+    let t_binary = binary.run(&binary_scenario);
+    assert!(
+        t_staged.records.len() > t_binary.records.len(),
+        "staged drain must emit more epochs ({} vs {})",
+        t_staged.records.len(),
+        t_binary.records.len()
+    );
+    assert!(
+        t_staged.records.iter().all(|r| !r.note.contains("abort")),
+        "generous capacity must never abort"
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

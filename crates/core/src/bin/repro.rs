@@ -65,8 +65,9 @@ fn main() {
             }
             "--verbose" | "-v" => obs::set_verbose(true),
             "--list" => {
+                let width = 2 + DESCRIPTIONS.iter().map(|(id, _)| id.len()).max().unwrap_or(0);
                 for (id, desc) in DESCRIPTIONS {
-                    println!("{id:<12}{desc}");
+                    println!("{id:<width$}{desc}");
                 }
                 return;
             }

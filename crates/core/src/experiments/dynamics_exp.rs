@@ -12,7 +12,8 @@
 
 use crate::artifact::Artifact;
 use crate::world::World;
-use dynamics::{DynUser, DynamicsEngine, RecomputeMode, Scenario, Timeline};
+use analysis::SiteCapacities;
+use dynamics::{DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario, Timeline};
 use netsim::SimTime;
 use std::sync::Arc;
 use topology::{AnycastDeployment, SiteId};
@@ -148,9 +149,13 @@ pub fn dynflap(world: &World) -> Vec<Artifact> {
     )
 }
 
-/// `dyndrain`: rolling maintenance over the largest CDN ring — each
-/// site drains for five minutes, starts staggered seven minutes apart,
-/// one at a time.
+/// `dyndrain`: rolling load-aware maintenance over the largest CDN
+/// ring — each site hands its catchment off in three staged withhold
+/// escalations a minute apart, then holds down for five minutes;
+/// starts staggered seven minutes apart, one at a time. Capacity is
+/// generous (every site could absorb the whole user base), so every
+/// drain completes; the `headroom_frac` column tracks how much slack
+/// the survivors keep at each stage.
 pub fn dyndrain(world: &World) -> Vec<Artifact> {
     let ring = world.cdn.largest_ring();
     let n = ring.deployment.sites.len().min(8);
@@ -159,17 +164,102 @@ pub fn dyndrain(world: &World) -> Vec<Artifact> {
         format!("{}-drain", ring.name),
         &sites,
         SimTime::from_secs(30.0),
+        60_000.0,
+        3,
         300_000.0,
         420_000.0,
     );
     let mut eng = engine(world, Arc::clone(&ring.deployment));
+    let total: f64 = eng.site_loads().iter().sum();
+    eng = eng.with_capacities(SiteCapacities::uniform(
+        ring.deployment.sites.len(),
+        total.max(1.0),
+    ));
     let t = eng.run(&scenario);
     timeline_artifacts(
         "dyndrain",
-        &format!("Rolling drain of {n} {} sites, one at a time", ring.name),
+        &format!("Staged rolling drain of {n} {} sites, one at a time", ring.name),
         &t,
         world.population.locations.len(),
     )
+}
+
+/// `dyndrain-load`: the capacity-coupled drain abort, demonstrated on
+/// the largest CDN ring's hottest site. Two runs of the same 3-stage
+/// drain script:
+///
+/// * **tight** (`dyndrain-load` + `dyndrain-loadsum`): the heaviest
+///   receiving site's capacity is set just below the load it would
+///   have to absorb, so a stage's post-recompute load check fails and
+///   the drain aborts — the `drain-abort` epoch rolls every
+///   assignment back and the site keeps serving;
+/// * **exact fit** (`dyndrain-load-ok`): every site's capacity equals
+///   its worst-case load during the drain (the strict `load > cap`
+///   check admits an exact fit), so the same script completes through
+///   all staged epochs and the maintenance hold.
+pub fn dyndrain_load(world: &World) -> Vec<Artifact> {
+    let ring = world.cdn.largest_ring();
+    let n_sites = ring.deployment.sites.len();
+    let probe = engine(world, Arc::clone(&ring.deployment));
+    let target = hottest_site(&probe);
+    let init_loads = probe.site_loads();
+    // Worst-case per-site load during the drain = the load with the
+    // target fully down (stages only ever add users to survivors).
+    let mut down_probe = engine(world, Arc::clone(&ring.deployment));
+    let _ = down_probe
+        .run(&Scenario::new("probe").at(SimTime::from_secs(1.0), RoutingEvent::SiteDown(target)));
+    let down_loads = down_probe.site_loads();
+    let exact: Vec<f64> = init_loads
+        .iter()
+        .zip(&down_loads)
+        .map(|(a, b)| a.max(*b).max(1.0))
+        .collect();
+    // The heaviest receiver, denied half the increase it needs.
+    let receiver = init_loads
+        .iter()
+        .zip(&down_loads)
+        .enumerate()
+        .max_by(|a, b| (a.1 .1 - a.1 .0).total_cmp(&(b.1 .1 - b.1 .0)))
+        .map(|(i, _)| i)
+        .expect("ring has sites");
+    let mut tight = exact.clone();
+    tight[receiver] =
+        (init_loads[receiver] + (down_loads[receiver] - init_loads[receiver]) / 2.0).max(1.0);
+    let scenario = Scenario::gradual_drain(
+        format!("{}-drain-load", ring.name),
+        target,
+        SimTime::from_secs(30.0),
+        60_000.0,
+        3,
+        300_000.0,
+    );
+
+    let mut aborts = engine(world, Arc::clone(&ring.deployment))
+        .with_capacities(SiteCapacities::from_per_site(tight));
+    let t_abort = aborts.run(&scenario);
+    let mut completes = engine(world, Arc::clone(&ring.deployment))
+        .with_capacities(SiteCapacities::from_per_site(exact));
+    let t_ok = completes.run(&scenario);
+
+    let mut a = timeline_artifacts(
+        "dyndrain-load",
+        &format!(
+            "Load-aware drain of {} ({} of {n_sites}) under tight capacity — aborts",
+            ring.name, target
+        ),
+        &t_abort,
+        world.population.locations.len(),
+    );
+    a.push(Artifact::Table {
+        id: "dyndrain-load-ok".into(),
+        title: format!(
+            "The same {} drain under exact-fit capacity — completes",
+            ring.name
+        ),
+        header: Timeline::header(),
+        rows: t_ok.rows(),
+    });
+    a
 }
 
 /// `dynoutage`: a correlated regional failure — every site of the

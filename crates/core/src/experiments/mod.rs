@@ -12,15 +12,15 @@ use crate::artifact::Artifact;
 use crate::world::World;
 
 /// All experiment ids, in paper order (extensions and dynamics last).
-pub const ALL_IDS: [&str; 27] = [
+pub const ALL_IDS: [&str; 28] = [
     "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab1", "tab2", "tab4", "tab5", "fig8",
     "fig9", "fig10", "fig11", "fig12", "appc", "fig14", "extunicast", "extlocals", "extddos",
-    "extte", "exttld", "extinfer", "dynflap", "dyndrain", "dynoutage", "dynpeer",
+    "extte", "exttld", "extinfer", "dynflap", "dyndrain", "dyndrain-load", "dynoutage", "dynpeer",
 ];
 
 /// One-line description per experiment id, in [`ALL_IDS`] order — the
 /// catalogue behind `repro --list`.
-pub const DESCRIPTIONS: [(&str, &str); 27] = [
+pub const DESCRIPTIONS: [(&str, &str); 28] = [
     ("fig2", "Geographic and latency inflation per root query (CDFs of users)"),
     ("fig3", "Root queries per user per day, amortization across letters"),
     ("fig4", "CDN latency per page load and per RTT, by ring (CDFs of probes)"),
@@ -45,7 +45,8 @@ pub const DESCRIPTIONS: [(&str, &str); 27] = [
     ("exttld", "A tale of three systems: adding the TLD layer"),
     ("extinfer", "Gao relationship inference vs ground truth"),
     ("dynflap", "Dynamics: hottest root-letter site flapping (incremental engine)"),
-    ("dyndrain", "Dynamics: rolling maintenance drain across the largest CDN ring"),
+    ("dyndrain", "Dynamics: staged rolling maintenance drain across the largest CDN ring"),
+    ("dyndrain-load", "Dynamics: capacity-coupled drain abort vs exact-fit completion"),
     ("dynoutage", "Dynamics: correlated regional outage of nearby root sites"),
     ("dynpeer", "Dynamics: peering loss toward the heaviest host-adjacent AS"),
 ];
@@ -105,6 +106,7 @@ fn dispatch(id: &str, world: &World) -> Vec<Artifact> {
         "extinfer" => extensions::extinfer(world),
         "dynflap" => dynamics_exp::dynflap(world),
         "dyndrain" => dynamics_exp::dyndrain(world),
+        "dyndrain-load" => dynamics_exp::dyndrain_load(world),
         "dynoutage" => dynamics_exp::dynoutage(world),
         "dynpeer" => dynamics_exp::dynpeer(world),
         other => panic!("unknown experiment id {other:?}"),

@@ -6,7 +6,7 @@
 use std::path::Path;
 use std::process::Command;
 
-const DYN_IDS: [&str; 4] = ["dynflap", "dyndrain", "dynoutage", "dynpeer"];
+const DYN_IDS: [&str; 5] = ["dynflap", "dyndrain", "dyndrain-load", "dynoutage", "dynpeer"];
 
 fn run_repro(out: &Path, threads: u32) {
     let status = Command::new(env!("CARGO_BIN_EXE_repro"))
@@ -50,8 +50,9 @@ fn dynamics_csvs_are_thread_count_invariant_and_incremental_saves_work() {
 
     // Every dynamics artifact (timeline + summary per id) must be
     // byte-identical across thread counts.
-    for id in DYN_IDS {
-        for name in [format!("{id}.csv"), format!("{id}sum.csv")] {
+    let extra = "dyndrain-load-ok.csv".to_string();
+    for (id, third) in DYN_IDS.map(|id| (id, (id == "dyndrain-load").then(|| extra.clone()))) {
+        for name in [format!("{id}.csv"), format!("{id}sum.csv")].into_iter().chain(third) {
             let a = std::fs::read(d1.join(&name)).unwrap_or_else(|_| panic!("{name} at t1"));
             let b = std::fs::read(d8.join(&name)).unwrap_or_else(|_| panic!("{name} at t8"));
             assert_eq!(a, b, "{name} differs between --threads 1 and 8");
@@ -80,4 +81,30 @@ fn dynamics_csvs_are_thread_count_invariant_and_incremental_saves_work() {
     );
     assert!(reused > 0, "no assignment was ever reused");
     assert_eq!(recomputed + reused, full, "recompute ledger must balance");
+
+    // The drain ledger: every drain that started was left staged,
+    // aborted, or completed — nothing leaks. `dyndrain` completes its
+    // rolling drains, `dyndrain-load` aborts one and completes one, so
+    // all three outcome counters are exercised (staged may be absent
+    // when every drain resolves, which extract-or-zero tolerates).
+    let extract_or_zero = |name: &str| {
+        if metrics.contains(&format!("\"{name}\": ")) { extract_counter(&metrics, name) } else { 0 }
+    };
+    let started = extract_counter(&metrics, "dynamics.drain.started");
+    let aborted = extract_counter(&metrics, "dynamics.drain.aborted");
+    let completed = extract_counter(&metrics, "dynamics.drain.completed");
+    let staged = extract_or_zero("dynamics.drain.staged");
+    assert!(started >= 9, "8 rolling + 2 load drains minus overlaps, saw {started}");
+    assert!(aborted >= 1, "the tight-capacity drain must abort");
+    assert!(completed >= 8, "the generous and exact-fit drains must complete");
+    assert_eq!(
+        staged + aborted + completed,
+        started,
+        "drain ledger must balance: {staged} staged + {aborted} aborted + {completed} completed != {started} started"
+    );
+    let escalations = extract_counter(&metrics, "dynamics.drain.escalations");
+    assert!(
+        escalations >= started,
+        "3-stage drains escalate more than once per start ({escalations} < {started})"
+    );
 }

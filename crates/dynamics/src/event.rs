@@ -22,18 +22,46 @@ pub enum RoutingEvent {
     SiteDown(SiteId),
     /// The site recovers and re-announces.
     SiteUp(SiteId),
-    /// Maintenance drain begins: the site withdraws gracefully and the
-    /// engine schedules the matching [`RoutingEvent::DrainEnd`] itself,
-    /// `duration_ms` later — drains are the one event that generates
-    /// follow-up events inside the simulation.
+    /// A load-aware maintenance drain begins. The site hands its
+    /// catchment off gradually: each stage withholds the announcement
+    /// from a growing slice of the host's neighbor sessions
+    /// (lightest-loaded first), and the final stage withdraws the site
+    /// entirely. Drains are the one event family that generates
+    /// follow-up events inside the simulation — the engine schedules
+    /// each [`RoutingEvent::DrainStage`] and the closing
+    /// [`RoutingEvent::DrainEnd`] itself, and only once the stage's
+    /// post-recompute load check passes (see the engine's drain state
+    /// machine and `docs/DYNAMICS.md`).
     DrainStart {
         /// Site being drained.
         site: SiteId,
-        /// How long the drain lasts before the site re-announces.
-        duration_ms: f64,
+        /// Simulated time between successive stage escalations.
+        stage_ms: f64,
+        /// Total escalation stages, the last being the full withdrawal.
+        /// `1` degenerates to the old binary down/up drain.
+        stages: u32,
+        /// How long the fully-drained site stays down before
+        /// re-announcing (the maintenance window proper).
+        hold_ms: f64,
     },
-    /// Maintenance drain ends: the site re-announces.
-    DrainEnd(SiteId),
+    /// Engine-scheduled escalation of a running drain. `gen` is the
+    /// drain's generation stamp: a stage whose generation no longer
+    /// matches (the drain was aborted, completed, or restarted in the
+    /// meantime) is a recorded no-op.
+    DrainStage {
+        /// Site being drained.
+        site: SiteId,
+        /// Generation stamp of the drain this stage belongs to.
+        gen: u64,
+    },
+    /// Maintenance drain ends: the site re-announces. Generation-stamped
+    /// like [`RoutingEvent::DrainStage`].
+    DrainEnd {
+        /// Site whose drain ends.
+        site: SiteId,
+        /// Generation stamp of the drain this end belongs to.
+        gen: u64,
+    },
     /// The host AS withdraws the anycast prefix entirely (all the sites
     /// it hosts go dark at once).
     PrefixWithdraw(Asn),
@@ -54,7 +82,8 @@ impl RoutingEvent {
             RoutingEvent::SiteDown(s) => format!("down {s}"),
             RoutingEvent::SiteUp(s) => format!("up {s}"),
             RoutingEvent::DrainStart { site, .. } => format!("drain-start {site}"),
-            RoutingEvent::DrainEnd(s) => format!("drain-end {s}"),
+            RoutingEvent::DrainStage { site, .. } => format!("drain-stage {site}"),
+            RoutingEvent::DrainEnd { site, .. } => format!("drain-end {site}"),
             RoutingEvent::PrefixWithdraw(a) => format!("withdraw {a}"),
             RoutingEvent::PrefixRestore(a) => format!("restore {a}"),
             RoutingEvent::PeeringDown(a) => format!("peering-down {a}"),
@@ -148,6 +177,13 @@ impl EventQueue {
             .map(|q| ScheduledEvent { at: SimTime(q.at_ms), event: q.event })
     }
 
+    /// The firing time of the earliest pending event, if any — what the
+    /// engine uses to gather every event sharing one `SimTime` into a
+    /// single batched epoch.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|q| SimTime(q.at_ms))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -196,9 +232,24 @@ mod tests {
         assert_eq!(RoutingEvent::SiteDown(SiteId(3)).label(), "down site-3");
         assert_eq!(RoutingEvent::PeeringDown(Asn(42)).label(), "peering-down AS42");
         assert_eq!(
-            RoutingEvent::DrainStart { site: SiteId(1), duration_ms: 5.0 }.label(),
+            RoutingEvent::DrainStart { site: SiteId(1), stage_ms: 5.0, stages: 3, hold_ms: 9.0 }
+                .label(),
             "drain-start site-1"
         );
+        assert_eq!(RoutingEvent::DrainStage { site: SiteId(2), gen: 7 }.label(), "drain-stage site-2");
+        assert_eq!(RoutingEvent::DrainEnd { site: SiteId(2), gen: 7 }.label(), "drain-end site-2");
+    }
+
+    #[test]
+    fn next_time_previews_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(SimTime::from_secs(9.0), RoutingEvent::SiteUp(SiteId(0)));
+        q.push(SimTime::from_secs(4.0), RoutingEvent::SiteDown(SiteId(0)));
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(4.0)));
+        assert_eq!(q.len(), 2, "peeking must not consume");
+        q.pop();
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(9.0)));
     }
 
     #[test]

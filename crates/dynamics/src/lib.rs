@@ -4,12 +4,28 @@
 //! The static pipeline answers "where does traffic land?"; this crate
 //! answers "what happens while that answer is changing?". A
 //! [`Scenario`] scripts routing events — site failures and recoveries,
-//! maintenance drains, prefix withdrawals, peering losses — onto
-//! `netsim`'s simulated clock; the [`DynamicsEngine`] replays them over
-//! a deployment and emits a per-event [`Timeline`]: users shifted,
-//! latency inflation, stylized convergence time, queries landing
-//! degraded, and how much per-user work the engine's incremental
-//! recomputation saved over a full sweep.
+//! load-aware gradual maintenance drains, prefix withdrawals, peering
+//! losses — onto `netsim`'s simulated clock; the [`DynamicsEngine`]
+//! replays them over a deployment and emits a per-epoch [`Timeline`]:
+//! users shifted, latency inflation, stylized convergence time,
+//! queries landing degraded, capacity headroom, and how much per-user
+//! work the engine's incremental recomputation saved over a full
+//! sweep.
+//!
+//! Two semantics set this engine apart from a naive event loop, both
+//! specified in `docs/DYNAMICS.md`:
+//!
+//! * **Batched epochs** — every event sharing one `SimTime` applies as
+//!   a single epoch with one incremental recompute and defined
+//!   precedence; opposing same-timestamp pairs (`SiteUp` + `SiteDown`
+//!   of one site) cancel into a recorded no-op flap, so scenario
+//!   authors are never insertion-order-sensitive.
+//! * **Load-aware drains** — a drain escalates through staged
+//!   per-neighbor withholds (lightest sessions first) and, when the
+//!   engine carries `analysis` capacities, every stage is checked
+//!   against surviving sites' load limits; a stage that would overload
+//!   a survivor aborts the drain and rolls the catchment back
+//!   byte-identically instead of committing.
 //!
 //! Everything is deterministic: the event queue breaks time ties by
 //! insertion order, jitter derives from `par`'s per-index seed streams,

@@ -71,23 +71,50 @@ impl Scenario {
         s
     }
 
-    /// Rolling maintenance: each listed site drains for `drain_ms`,
-    /// with starts staggered `stagger_ms` apart (the classic one-at-a-
-    /// time CDN ring maintenance loop). Drain ends are scheduled by the
-    /// engine when each [`RoutingEvent::DrainStart`] fires.
+    /// One load-aware gradual drain: `site` escalates through `stages`
+    /// withhold stages `stage_ms` apart, stays fully down for `hold_ms`
+    /// (the maintenance window), then re-announces. Stage and end
+    /// events are scheduled by the engine as each stage commits; a
+    /// stage that would overload a surviving site aborts the drain
+    /// instead (see `docs/DYNAMICS.md`).
+    pub fn gradual_drain(
+        name: impl Into<String>,
+        site: SiteId,
+        start: SimTime,
+        stage_ms: f64,
+        stages: u32,
+        hold_ms: f64,
+    ) -> Self {
+        assert!(stage_ms > 0.0, "stage spacing must be positive");
+        assert!(stages >= 1, "a drain needs at least one stage");
+        assert!(hold_ms > 0.0, "maintenance hold must be positive");
+        Self::new(name).at(start, RoutingEvent::DrainStart { site, stage_ms, stages, hold_ms })
+    }
+
+    /// Rolling maintenance: each listed site runs a gradual drain
+    /// (`stages` escalations `stage_ms` apart, then `hold_ms` fully
+    /// down), with starts staggered `stagger_ms` apart — the classic
+    /// one-at-a-time CDN ring maintenance loop. Stage escalations and
+    /// drain ends are scheduled by the engine when each
+    /// [`RoutingEvent::DrainStart`] fires; pass `stages = 1` for the
+    /// old binary down/up drain.
     pub fn rolling_drain(
         name: impl Into<String>,
         sites: &[SiteId],
         start: SimTime,
-        drain_ms: f64,
+        stage_ms: f64,
+        stages: u32,
+        hold_ms: f64,
         stagger_ms: f64,
     ) -> Self {
-        assert!(drain_ms > 0.0, "drain duration must be positive");
+        assert!(stage_ms > 0.0, "stage spacing must be positive");
+        assert!(stages >= 1, "a drain needs at least one stage");
+        assert!(hold_ms > 0.0, "maintenance hold must be positive");
         let mut s = Self::new(name);
         for (k, &site) in sites.iter().enumerate() {
             s = s.at(
                 start.plus_ms(k as f64 * stagger_ms),
-                RoutingEvent::DrainStart { site, duration_ms: drain_ms },
+                RoutingEvent::DrainStart { site, stage_ms, stages, hold_ms },
             );
         }
         s
@@ -188,13 +215,32 @@ mod tests {
     #[test]
     fn rolling_drain_staggers_starts() {
         let sites = [SiteId(0), SiteId(1), SiteId(2)];
-        let s = Scenario::rolling_drain("mnt", &sites, SimTime::ZERO, 300_000.0, 120_000.0);
+        let s = Scenario::rolling_drain(
+            "mnt",
+            &sites,
+            SimTime::ZERO,
+            60_000.0,
+            3,
+            300_000.0,
+            120_000.0,
+        );
         assert_eq!(s.events.len(), 3);
         assert_eq!(s.events[1].at.as_ms() - s.events[0].at.as_ms(), 120_000.0);
         assert!(matches!(
             s.events[0].event,
-            RoutingEvent::DrainStart { site: SiteId(0), .. }
+            RoutingEvent::DrainStart { site: SiteId(0), stages: 3, .. }
         ));
+    }
+
+    #[test]
+    fn gradual_drain_is_one_start_event() {
+        let s = Scenario::gradual_drain("gd", SiteId(4), SimTime::from_secs(10.0), 30_000.0, 4, 600_000.0);
+        assert_eq!(s.events.len(), 1);
+        assert!(matches!(
+            s.events[0].event,
+            RoutingEvent::DrainStart { site: SiteId(4), stages: 4, .. }
+        ));
+        assert_eq!(s.horizon().as_secs(), 10.0);
     }
 
     #[test]

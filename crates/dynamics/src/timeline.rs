@@ -42,6 +42,15 @@ pub struct EpochRecord {
     pub recomputed: u64,
     /// Per-user assignments the engine proved unaffected and reused.
     pub reused: u64,
+    /// Worst relative capacity headroom `(cap − load) / cap` across the
+    /// announced sites after this epoch. `None` when the engine runs
+    /// without capacities (the default).
+    pub headroom_frac: Option<f64>,
+    /// Free-text epoch annotations: cancelled same-timestamp pairs,
+    /// no-op drain events, and drain-abort reasons. Empty for plain
+    /// epochs (rendered as `-` in CSV). Never contains commas — the
+    /// CSV renderer does not escape.
+    pub note: String,
 }
 
 /// The full per-event time series of one scenario run.
@@ -102,6 +111,8 @@ impl Timeline {
             "degraded_queries",
             "recomputed",
             "reused",
+            "headroom_frac",
+            "note",
         ]
         .map(String::from)
         .to_vec()
@@ -127,6 +138,10 @@ impl Timeline {
                     format!("{:.3}", r.degraded_queries),
                     r.recomputed.to_string(),
                     r.reused.to_string(),
+                    r.headroom_frac
+                        .map(|h| format!("{h:.4}"))
+                        .unwrap_or_else(|| "-".into()),
+                    if r.note.is_empty() { "-".into() } else { r.note.clone() },
                 ]
             })
             .collect()
@@ -185,12 +200,16 @@ mod tests {
             degraded_queries: 0.0,
             recomputed: 10,
             reused: 0,
+            headroom_frac: Some(0.25),
+            note: String::new(),
         });
         let rows = t.rows();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0], "1.234");
         assert_eq!(rows[0][5], "12.346");
         assert_eq!(rows[0][6], "-");
+        assert_eq!(rows[0][12], "0.2500");
+        assert_eq!(rows[0][13], "-", "an empty note renders as a dash");
         assert_eq!(rows[0].len(), Timeline::header().len());
     }
 
@@ -211,6 +230,8 @@ mod tests {
                 degraded_queries: 0.0,
                 recomputed: rc,
                 reused: ru,
+                headroom_frac: None,
+                note: String::new(),
             });
         }
         assert_eq!(t.recompute_totals(), (30, 170));

@@ -61,6 +61,26 @@ pub struct AnycastSite {
     pub scope: SiteScope,
 }
 
+/// One site's staged withhold set: the neighbor sessions this site no
+/// longer serves while it is being drained.
+///
+/// A gradual maintenance drain withdraws a site session by session
+/// rather than all at once: traffic whose path enters the host AS
+/// through a withheld neighbor is steered to the next-best site (the
+/// nearest non-drained sibling in the same origin group, or the next
+/// candidate group entirely), while every other session keeps landing
+/// on the site. Escalating `withheld` over successive stages hands the
+/// catchment off in bounded slices — the mechanism behind
+/// `dynamics`' load-aware drains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteDrain {
+    /// The site being drained.
+    pub site: SiteId,
+    /// Host-adjacent neighbor ASes whose traffic the site no longer
+    /// accepts. Sorted ascending (a set).
+    pub withheld: Vec<Asn>,
+}
+
 /// A set of sites announcing one anycast prefix.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnycastDeployment {
@@ -71,6 +91,9 @@ pub struct AnycastDeployment {
     /// Neighbor ASes each host AS withholds the announcement from —
     /// selective-announcement traffic engineering (§7.1).
     pub withhold: Vec<Asn>,
+    /// Sites in the middle of a gradual drain, with their staged
+    /// withhold sets (see [`SiteDrain`]). Empty in steady state.
+    pub site_drains: Vec<SiteDrain>,
     /// The service's own origin AS, if it has one (root letters do; CDN
     /// rings originate from the CDN AS directly). When set, AS paths
     /// through upstream *hosts* gain this final hop, and — if the origin
@@ -95,7 +118,19 @@ impl AnycastDeployment {
         for (i, s) in sites.iter().enumerate() {
             assert_eq!(s.id.0 as usize, i, "site ids must be dense");
         }
-        Self { name: name.into(), sites, withhold, origin_as: None, direct_hosts: vec![] }
+        Self {
+            name: name.into(),
+            sites,
+            withhold,
+            site_drains: vec![],
+            origin_as: None,
+            direct_hosts: vec![],
+        }
+    }
+
+    /// The staged withhold set of `site`, if it is currently draining.
+    pub fn drain_of(&self, site: SiteId) -> Option<&SiteDrain> {
+        self.site_drains.iter().find(|d| d.site == site)
     }
 
     /// Declares the deployment's own origin AS (see
@@ -470,10 +505,14 @@ impl<'g> Catchment<'g> {
     pub fn ranked_top(&self, src: Asn, user_loc: &GeoPoint, k: usize) -> Vec<SiteAssignment> {
         let src_idx = self.graph.idx(src);
         let serving = self.graph.serving_pop(src, user_loc);
+        // filter_map *before* take: a candidate that fails to
+        // materialize (every hosted site drained for this path's entry
+        // session) falls through to the next-ranked group instead of
+        // truncating the result — matching `assign_with_key`.
         self.candidates(src_idx, &serving)
             .into_iter()
-            .take(k)
             .filter_map(|c| self.materialize(src_idx, user_loc, &serving, c.group, c.first))
+            .take(k)
             .collect()
     }
 
@@ -590,7 +629,11 @@ impl<'g> Catchment<'g> {
     /// Builds the full assignment for one candidate group: reconstruct the
     /// AS path, pick the intra-origin site nearest the entry point (the
     /// host's internal anycast/early-exit — for a CDN this is "ingress PoP
-    /// to nearest front-end in the ring"), and resolve waypoints.
+    /// to nearest front-end in the ring"), and resolve waypoints. Sites
+    /// mid-drain ([`AnycastDeployment::site_drains`]) are skipped for
+    /// paths entering through a withheld neighbor session; returns `None`
+    /// when that leaves the group with no eligible site (the caller falls
+    /// through to the next-ranked candidate).
     fn materialize(
         &self,
         src_idx: usize,
@@ -603,6 +646,13 @@ impl<'g> Catchment<'g> {
             Some(fh) => group.routes.path_via(src_idx, fh)?,
             None => (vec![src_idx], vec![]), // src is the origin
         };
+        // The host-adjacent neighbor this path enters the origin AS
+        // through — the session a staged drain withholds. None when the
+        // source sits inside the host AS (no interdomain session).
+        let via: Option<Asn> = nodes
+            .len()
+            .checked_sub(2)
+            .map(|p| self.graph.node_at(nodes[p]).asn);
         // Entry point into the origin AS: the last interconnect crossed,
         // or the user's serving PoP when the user sits inside the origin.
         let mut entry = *serving;
@@ -611,17 +661,23 @@ impl<'g> Catchment<'g> {
             cur = self.graph.nearest_interconnect(link, &cur);
             entry = cur;
         }
-        // Intra-origin site selection: nearest hosted site to the entry.
+        // Intra-origin site selection: nearest *eligible* hosted site to
+        // the entry. A site is ineligible when its staged drain withholds
+        // this path's entry session.
+        let eligible = |s: SiteId| match (via, self.deployment.drain_of(s)) {
+            (Some(v), Some(d)) => d.withheld.binary_search(&v).is_err(),
+            _ => true,
+        };
         let site_id = group
             .sites
             .iter()
             .copied()
+            .filter(|&s| self.deployment.site_drains.is_empty() || eligible(s))
             .min_by(|a, b| {
                 let da = self.deployment.site(*a).location.distance_km(&entry);
                 let db = self.deployment.site(*b).location.distance_km(&entry);
                 da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
-            })
-            .expect("groups are non-empty");
+            })?;
         let site_loc = self.deployment.site(site_id).location;
         let wp = waypoints::resolve(self.graph, &nodes, &links, user_loc, &site_loc);
         let path_km = waypoints::length_km(&wp);
@@ -886,6 +942,83 @@ mod tests {
         // Strictly worse on (class, len): can never win.
         assert!(!key.challenged_by(RouteClass::Peer, 4));
         assert!(!key.challenged_by(RouteClass::Provider, 2));
+    }
+
+    #[test]
+    fn staged_drain_steers_withheld_sessions_to_sibling_site() {
+        // CDN AS 100 with front-ends at lon 0 and lon 60. The eyeball at
+        // lon 58 peers at lon 60 and normally lands on site 1. Draining
+        // site 1 for that eyeball's session steers it to site 0 without
+        // touching the announcement.
+        let mut g = AsGraph::new();
+        g.add_as(node(100, AsKind::Content, vec![p(0.0), p(60.0)]));
+        g.add_as(node(1, AsKind::Eyeball, vec![p(58.0)]));
+        g.add_peer_link(Asn(1), Asn(100), vec![p(60.0), p(0.0)]);
+        let mut dep = AnycastDeployment::new(
+            "ring",
+            vec![
+                site(0, 100, 0.0, SiteScope::Global),
+                site(1, 100, 60.0, SiteScope::Global),
+            ],
+            vec![],
+        );
+        let mut cache = RouteCache::new();
+        let before = Catchment::compute(&g, &dep, &mut cache);
+        assert_eq!(before.assign(Asn(1), &p(58.0)).unwrap().site, SiteId(1));
+
+        dep.site_drains = vec![SiteDrain { site: SiteId(1), withheld: vec![Asn(1)] }];
+        let during = Catchment::compute(&g, &dep, &mut cache);
+        let a = during.assign(Asn(1), &p(58.0)).unwrap();
+        assert_eq!(a.site, SiteId(0), "withheld session must fall to the sibling");
+
+        // Sessions not in the withheld set are untouched.
+        dep.site_drains = vec![SiteDrain { site: SiteId(1), withheld: vec![Asn(999)] }];
+        let other = Catchment::compute(&g, &dep, &mut cache);
+        assert_eq!(other.assign(Asn(1), &p(58.0)).unwrap().site, SiteId(1));
+    }
+
+    #[test]
+    fn fully_drained_single_site_group_falls_to_next_candidate_group() {
+        // Same shape as inflation_world: the winning 2-AS group hosts
+        // one site. Draining it for the eyeball's session must fall
+        // through to the 3-AS group, exactly like `ranked`'s entry 1.
+        let (g, mut dep) = inflation_world();
+        let mut cache = RouteCache::new();
+        let baseline = Catchment::compute(&g, &dep, &mut cache);
+        let ranked = baseline.ranked(Asn(1), &p(0.0));
+        assert_eq!(ranked[0].site, SiteId(0));
+
+        dep.site_drains = vec![SiteDrain { site: SiteId(0), withheld: vec![Asn(1)] }];
+        let drained = Catchment::compute(&g, &dep, &mut cache);
+        let a = drained.assign(Asn(1), &p(0.0)).unwrap();
+        assert_eq!(a.site, SiteId(1), "drained group must yield to the runner-up");
+        assert_eq!(a.as_path, ranked[1].as_path);
+        // assign_with_key falls through identically.
+        let (ak, key) = drained.assign_with_key(Asn(1), &p(0.0)).unwrap();
+        assert_eq!(ak.site, SiteId(1));
+        assert_eq!(key.host, Asn(21));
+        // ranked_top(…, 1) agrees with assign (the take-after-filter fix).
+        let top = drained.ranked_top(Asn(1), &p(0.0), 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].site, SiteId(1));
+    }
+
+    #[test]
+    fn drain_does_not_withhold_internal_traffic() {
+        // A source inside the origin AS crosses no interdomain session,
+        // so staged withholds never apply to it — only the final
+        // withdrawal (site down) moves internal users.
+        let mut g = AsGraph::new();
+        g.add_as(node(100, AsKind::Content, vec![p(0.0), p(30.0)]));
+        let mut dep = AnycastDeployment::new(
+            "ring",
+            vec![site(0, 100, 0.0, SiteScope::Global), site(1, 100, 30.0, SiteScope::Global)],
+            vec![],
+        );
+        dep.site_drains = vec![SiteDrain { site: SiteId(1), withheld: vec![Asn(100)] }];
+        let mut cache = RouteCache::new();
+        let c = Catchment::compute(&g, &dep, &mut cache);
+        assert_eq!(c.assign(Asn(100), &p(29.0)).unwrap().site, SiteId(1));
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub mod prefix;
 pub mod waypoints;
 
 pub use anycast::{
-    AnycastDeployment, AnycastSite, CandidateKey, Catchment, RouteCache, SiteAssignment, SiteId,
-    SiteScope,
+    AnycastDeployment, AnycastSite, CandidateKey, Catchment, RouteCache, SiteAssignment, SiteDrain,
+    SiteId, SiteScope,
 };
 pub use asn::{AsKind, Asn, OrgId};
 pub use bgp::{ExportScope, OriginRoutes, RouteClass, RouteComputer};
