@@ -1,21 +1,21 @@
-//! The dynamics engine's headline claim: recomputing only invalidated
-//! catchment entries per routing event beats naive full recomputation.
+//! Deployment swaps as epochs, not rebuilds: a ring promotion/demotion
+//! cycle on the incremental engine against the full-recompute oracle.
 //!
-//! Both engines replay the same site-flap scenario over the busiest
-//! root letter; the incremental one re-derives assignments only for
-//! users whose winning origin group changed or became challengeable.
-//! Besides the criterion groups, a summary (mean ms per event and the
-//! recompute-vs-reuse ledger) is recorded in
-//! `results/dynamics_bench.json`, alongside the `timings.json` the
-//! repro driver writes.
+//! The engine serves the CDN's R74 ring, promotes to R95, holds, and
+//! demotes back. The incremental path re-keys every stored assignment
+//! across the nested-ring site remap and re-ranks only users the added
+//! sites actually win (promotion) or whose site left the ring
+//! (demotion); the oracle re-ranks everyone twice. The timed summary
+//! and recompute ledger land in the `"dynamics_swap"` section of
+//! `results/dynamics_bench.json`.
 
-use anycast_bench::bench_world;
+use anycast_bench::{bench_world, record_bench_section};
 use anycast_core::World;
+use cdn::Cdn;
 use criterion::{criterion_group, criterion_main, Criterion};
-use dynamics::{DynUser, DynamicsEngine, RecomputeMode, Scenario};
+use dynamics::{DynUser, DynamicsEngine, RecomputeMode, Scenario, SwapDeployment};
 use netsim::SimTime;
 use std::sync::Arc;
-use topology::SiteId;
 
 fn dyn_users(world: &World) -> Vec<DynUser> {
     let total_users = world.population.total_users();
@@ -37,51 +37,39 @@ fn dyn_users(world: &World) -> Vec<DynUser> {
         .collect()
 }
 
-fn engine(world: &World, mode: RecomputeMode) -> DynamicsEngine<'_> {
-    let letter = world
-        .letters
-        .letters
+fn swap_set(cdn: &Cdn) -> Vec<SwapDeployment> {
+    cdn.rings
         .iter()
-        .max_by_key(|l| l.deployment.global_site_count())
-        .expect("letters exist");
+        .map(|r| SwapDeployment {
+            deployment: Arc::clone(&r.deployment),
+            universe: cdn.ring_universe(r),
+        })
+        .collect()
+}
+
+fn engine(world: &World, ring: usize, mode: RecomputeMode) -> DynamicsEngine<'_> {
     DynamicsEngine::new(
         &world.internet.graph,
-        Arc::clone(&letter.deployment),
+        Arc::clone(&world.cdn.rings[ring].deployment),
         world.model.clone(),
         dyn_users(world),
         mode,
     )
-}
-
-fn hottest_site(eng: &DynamicsEngine<'_>) -> SiteId {
-    let loads = eng.site_loads();
-    let mut best = 0usize;
-    for (i, l) in loads.iter().enumerate() {
-        if *l > loads[best] {
-            best = i;
-        }
-    }
-    SiteId(best as u32)
+    .with_swap_set(swap_set(&world.cdn), ring)
 }
 
 fn bench(c: &mut Criterion) {
     let world = bench_world();
-    let mut incremental = engine(&world, RecomputeMode::Incremental);
-    let mut full = engine(&world, RecomputeMode::Full);
-    let target = hottest_site(&incremental);
-    // Two flaps, no jitter: four events, ending back at baseline so the
-    // engines can be reused across iterations.
-    let scenario = Scenario::site_flap(
-        "bench-flap",
-        target,
-        SimTime::from_secs(60.0),
-        600_000.0,
-        2,
-        0.0,
-        2021,
-    );
+    let from = world.cdn.ring_index("R74").expect("paper ring R74");
+    let to = world.cdn.ring_index("R95").expect("paper ring R95");
+    let mut incremental = engine(&world, from, RecomputeMode::Incremental);
+    let mut full = engine(&world, from, RecomputeMode::Full);
+    // Promote, hold, demote back: the cycle ends on the starting ring,
+    // so the engines can be reused across iterations.
+    let scenario =
+        Scenario::ring_swap("bench-ring-cycle", to as u32, from as u32, SimTime::from_secs(60.0), 1_800_000.0);
 
-    let mut group = c.benchmark_group("dynamics_event_recompute");
+    let mut group = c.benchmark_group("dynamics_swap");
     group.sample_size(10);
     group.bench_function("incremental", |b| {
         b.iter(|| criterion::black_box(incremental.run(&scenario)).records.len())
@@ -91,9 +79,6 @@ fn bench(c: &mut Criterion) {
     });
     group.finish();
 
-    // Recorded summary: a plain timed comparison plus the ledger the
-    // obs counters also carry, so the perf claim lives in the repo next
-    // to timings.json rather than only in criterion's target dir.
     const RUNS: usize = 5;
     let t = std::time::Instant::now();
     let mut inc_timeline = None;
@@ -115,10 +100,11 @@ fn bench(c: &mut Criterion) {
     let (full_rc, full_ru) = full_timeline.recompute_totals();
     assert!(
         inc_rc < full_rc,
-        "incremental recomputed {inc_rc} entries, full {full_rc} — the delta path must win"
+        "swap epochs recomputed {inc_rc} entries incrementally, {full_rc} fully — \
+         the remap + site-diff path must win"
     );
     let json = format!(
-        "{{\"scenario\": \"site-flap x2\", \"events\": {events}, \
+        "{{\"scenario\": \"ring promote R74->R95, demote back\", \"events\": {events}, \
          \"incremental\": {{\"secs_per_run\": {inc_secs:.4}, \"ms_per_event\": {:.3}, \
          \"assign_recomputed\": {inc_rc}, \"assign_reused\": {inc_ru}}}, \
          \"full\": {{\"secs_per_run\": {full_secs:.4}, \"ms_per_event\": {:.3}, \
@@ -128,8 +114,8 @@ fn bench(c: &mut Criterion) {
         full_secs * 1000.0 / events.max(1) as f64,
         if inc_secs > 0.0 { full_secs / inc_secs } else { 0.0 },
     );
-    anycast_bench::record_bench_section("dynamics_incremental", &json);
-    println!("dynamics incremental vs full: {json}");
+    record_bench_section("dynamics_swap", &json);
+    println!("dynamics swap incremental vs full: {json}");
 }
 
 criterion_group!(benches, bench);

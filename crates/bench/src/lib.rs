@@ -35,3 +35,138 @@ pub fn bench_world_with_peering(peering: f64) -> World {
         ..WorldConfig::paper(2021)
     })
 }
+
+/// Records one bench's summary under a named top-level section of
+/// `results/dynamics_bench.json`, preserving the sections other
+/// benches wrote: `{"dynamics_incremental": {...}, "dynamics_swap":
+/// {...}}`. Sections are kept sorted by name so the file is
+/// byte-stable regardless of which bench ran last. `body` must be one
+/// JSON object (the repo vendors no JSON writer, so benches hand-roll
+/// it like the repro driver's `timings.json`).
+pub fn record_bench_section(name: &str, body: &str) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/dynamics_bench.json");
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    std::fs::write(path, upsert_section(&existing, name, body))
+        .expect("write dynamics_bench.json");
+}
+
+/// Pure core of [`record_bench_section`]: replaces or inserts section
+/// `name` in the sectioned JSON document `existing` and returns the
+/// re-rendered document. A document that is not in the sectioned
+/// format (e.g. the legacy flat summary) is discarded rather than
+/// half-merged.
+pub fn upsert_section(existing: &str, name: &str, body: &str) -> String {
+    let mut sections = parse_sections(existing);
+    sections.retain(|(k, _)| k != name);
+    sections.push((name.to_string(), body.trim().to_string()));
+    sections.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in sections.iter().enumerate() {
+        out.push_str("  \"");
+        out.push_str(k);
+        out.push_str("\": ");
+        out.push_str(v);
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Splits a `{"key": {...}, ...}` document into its top-level
+/// `(key, object)` pairs with a string-aware brace scanner. Returns no
+/// sections when any top-level value is not an object (the document is
+/// not sectioned) or when the input is not one object.
+fn parse_sections(s: &str) -> Vec<(String, String)> {
+    let s = s.trim();
+    let Some(inner) = s.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+        return Vec::new();
+    };
+    let bytes = inner.as_bytes();
+    let mut sections = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Key: the next string literal.
+        let Some(ks) = inner[i..].find('"').map(|p| i + p + 1) else { break };
+        let Some(ke) = inner[ks..].find('"').map(|p| ks + p) else { return Vec::new() };
+        let key = &inner[ks..ke];
+        // Value: must start with '{' right after the colon.
+        let Some(vs) = inner[ke + 1..].find(':').map(|p| ke + 2 + p) else { return Vec::new() };
+        let mut j = vs;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] != b'{' {
+            return Vec::new(); // scalar at top level: not sectioned
+        }
+        // Balanced-brace scan, skipping braces inside string literals.
+        let (mut depth, mut in_str, mut escaped) = (0usize, false, false);
+        let mut end = None;
+        for (off, &b) in bytes[j..].iter().enumerate() {
+            if in_str {
+                match b {
+                    _ if escaped => escaped = false,
+                    b'\\' => escaped = true,
+                    b'"' => in_str = false,
+                    _ => {}
+                }
+            } else {
+                match b {
+                    b'"' => in_str = true,
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = Some(j + off + 1);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let Some(end) = end else { return Vec::new() };
+        sections.push((key.to_string(), inner[j..end].to_string()));
+        i = end;
+    }
+    sections
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_into_empty_creates_one_section() {
+        let doc = upsert_section("", "swap", r#"{"a": 1}"#);
+        assert_eq!(doc, "{\n  \"swap\": {\"a\": 1}\n}\n");
+    }
+
+    #[test]
+    fn upsert_preserves_other_sections_and_sorts() {
+        let doc = upsert_section("", "swap", r#"{"a": 1}"#);
+        let doc = upsert_section(&doc, "incremental", r#"{"b": 2}"#);
+        assert_eq!(
+            doc,
+            "{\n  \"incremental\": {\"b\": 2},\n  \"swap\": {\"a\": 1}\n}\n"
+        );
+        // Replacing a section keeps the other intact.
+        let doc = upsert_section(&doc, "swap", r#"{"a": 3}"#);
+        assert!(doc.contains(r#""swap": {"a": 3}"#));
+        assert!(doc.contains(r#""incremental": {"b": 2}"#));
+    }
+
+    #[test]
+    fn upsert_survives_nested_objects_and_braces_in_strings() {
+        let body = r#"{"inner": {"x": 1}, "note": "a { brace \" quote"}"#;
+        let doc = upsert_section("", "a", body);
+        let doc = upsert_section(&doc, "b", r#"{"y": 2}"#);
+        assert!(doc.contains(body), "nested section must round-trip: {doc}");
+    }
+
+    #[test]
+    fn legacy_flat_document_is_discarded_not_merged() {
+        let legacy = r#"{"scenario": "site-flap x2", "events": 4, "incremental": {"s": 1}}"#;
+        let doc = upsert_section(legacy, "swap", r#"{"a": 1}"#);
+        assert_eq!(doc, "{\n  \"swap\": {\"a\": 1}\n}\n");
+    }
+}

@@ -151,6 +151,45 @@ impl Cdn {
     pub fn ring(&self, name: &str) -> Option<&Ring> {
         self.rings.iter().find(|r| r.name == name)
     }
+
+    /// Position of the ring named `name` in [`Cdn::rings`].
+    pub fn ring_index(&self, name: &str) -> Option<usize> {
+        self.rings.iter().position(|r| r.name == name)
+    }
+
+    /// A stable *universe id* for every site of `ring`: its id in the
+    /// largest ring. Because rings nest, every site of every ring is
+    /// present there, so the universe id identifies one physical
+    /// front-end across all rings — the identity the dynamics engine's
+    /// deployment swaps re-key per-user state through.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a site of `ring` has no counterpart in the largest
+    /// ring (the ring is not from this CDN).
+    pub fn ring_universe(&self, ring: &Ring) -> Vec<u32> {
+        site_remap(&ring.deployment, &self.largest_ring().deployment)
+            .iter()
+            .map(|m| m.expect("rings nest inside the largest ring").0)
+            .collect()
+    }
+}
+
+/// A stable `SiteId → SiteId` mapping between two deployments of one
+/// CDN AS: entry `i` is the id in `to` of the site `from.sites[i]`
+/// (matched by host AS and physical location), or `None` when that
+/// front-end is not part of `to`. For nested rings this is how a
+/// promotion/demotion carries per-site state across the swap.
+pub fn site_remap(from: &AnycastDeployment, to: &AnycastDeployment) -> Vec<Option<SiteId>> {
+    from.sites
+        .iter()
+        .map(|s| {
+            to.sites
+                .iter()
+                .find(|t| t.host == s.host && t.location.distance_km(&s.location) < 1e-6)
+                .map(|t| t.id)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -205,6 +244,53 @@ mod tests {
         let (_, cdn) = build_small();
         assert!(cdn.ring("R74").is_some());
         assert!(cdn.ring("R9").is_none());
+    }
+
+    #[test]
+    fn site_remap_is_identity_on_the_nested_prefix() {
+        let (_, cdn) = build_small();
+        let small = &cdn.rings[1].deployment;
+        let big = &cdn.rings[3].deployment;
+        // Promotion direction: every site of the smaller ring maps to
+        // the same index of the larger one (prefix nesting).
+        let up = site_remap(small, big);
+        assert_eq!(up.len(), small.sites.len());
+        for (i, m) in up.iter().enumerate() {
+            assert_eq!(*m, Some(SiteId(i as u32)));
+        }
+        // Demotion direction: the shared prefix maps back, the tail of
+        // the larger ring maps to nothing.
+        let down = site_remap(big, small);
+        for (i, m) in down.iter().enumerate() {
+            if i < small.sites.len() {
+                assert_eq!(*m, Some(SiteId(i as u32)));
+            } else {
+                assert_eq!(*m, None, "site {i} is not in the smaller ring");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_universe_is_consistent_across_rings() {
+        let (_, cdn) = build_small();
+        for ring in &cdn.rings {
+            let uni = cdn.ring_universe(ring);
+            assert_eq!(uni.len(), ring.deployment.sites.len());
+            // Universe ids are unique within a ring…
+            let mut sorted = uni.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), uni.len());
+            // …and two rings agree on the identity of a shared site.
+            let largest = cdn.largest_ring();
+            for (i, &u) in uni.iter().enumerate() {
+                let a = &ring.deployment.sites[i];
+                let b = &largest.deployment.sites[u as usize];
+                assert!(a.location.distance_km(&b.location) < 1e-9);
+            }
+        }
+        assert_eq!(cdn.ring_index("R74"), Some(2));
+        assert_eq!(cdn.ring_index("R9"), None);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 use crate::artifact::Artifact;
 use crate::world::World;
 use analysis::SiteCapacities;
-use dynamics::{DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario, Timeline};
+use dynamics::{
+    DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario, SwapDeployment, Timeline,
+};
 use netsim::SimTime;
 use std::sync::Arc;
 use topology::{AnycastDeployment, SiteId};
@@ -288,6 +290,45 @@ pub fn dynoutage(world: &World) -> Vec<Artifact> {
             hit.len(),
             letter.deployment.name
         ),
+        &t,
+        world.population.locations.len(),
+    )
+}
+
+/// `dynring`: the CDN's ring maintenance cycle — the serving ring is
+/// promoted R74 → R95 one minute in, held there for half an hour, then
+/// demoted back. Both swaps land as single batched epochs: the engine
+/// re-keys every per-user assignment across the nested-ring site remap
+/// and recomputes only users the added sites actually win (promotion)
+/// or users whose site left the ring (demotion), so the per-epoch
+/// `reused` column stays high even though the whole deployment object
+/// was replaced. The timeline's `shifted` and `inflation_ms` columns
+/// give the per-epoch users-moved and latency deltas of the cycle.
+pub fn dynring(world: &World) -> Vec<Artifact> {
+    let cdn = &world.cdn;
+    let from = cdn.ring_index("R74").expect("paper ring R74 present");
+    let to = cdn.ring_index("R95").expect("paper ring R95 present");
+    let swap_set: Vec<SwapDeployment> = cdn
+        .rings
+        .iter()
+        .map(|r| SwapDeployment {
+            deployment: Arc::clone(&r.deployment),
+            universe: cdn.ring_universe(r),
+        })
+        .collect();
+    let mut eng =
+        engine(world, Arc::clone(&cdn.rings[from].deployment)).with_swap_set(swap_set, from);
+    let scenario = Scenario::ring_swap(
+        "ring-cycle",
+        to as u32,
+        from as u32,
+        SimTime::from_secs(60.0),
+        1_800_000.0,
+    );
+    let t = eng.run(&scenario);
+    timeline_artifacts(
+        "dynring",
+        "Ring promotion R74 → R95, held 30 min, demoted back — swap dynamics",
         &t,
         world.population.locations.len(),
     )

@@ -12,15 +12,16 @@ use crate::artifact::Artifact;
 use crate::world::World;
 
 /// All experiment ids, in paper order (extensions and dynamics last).
-pub const ALL_IDS: [&str; 28] = [
+pub const ALL_IDS: [&str; 29] = [
     "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab1", "tab2", "tab4", "tab5", "fig8",
     "fig9", "fig10", "fig11", "fig12", "appc", "fig14", "extunicast", "extlocals", "extddos",
     "extte", "exttld", "extinfer", "dynflap", "dyndrain", "dyndrain-load", "dynoutage", "dynpeer",
+    "dynring",
 ];
 
 /// One-line description per experiment id, in [`ALL_IDS`] order — the
 /// catalogue behind `repro --list`.
-pub const DESCRIPTIONS: [(&str, &str); 28] = [
+pub const DESCRIPTIONS: [(&str, &str); 29] = [
     ("fig2", "Geographic and latency inflation per root query (CDFs of users)"),
     ("fig3", "Root queries per user per day, amortization across letters"),
     ("fig4", "CDN latency per page load and per RTT, by ring (CDFs of probes)"),
@@ -49,6 +50,7 @@ pub const DESCRIPTIONS: [(&str, &str); 28] = [
     ("dyndrain-load", "Dynamics: capacity-coupled drain abort vs exact-fit completion"),
     ("dynoutage", "Dynamics: correlated regional outage of nearby root sites"),
     ("dynpeer", "Dynamics: peering loss toward the heaviest host-adjacent AS"),
+    ("dynring", "Dynamics: CDN ring promotion R74 → R95 and demotion back (deployment swaps)"),
 ];
 
 /// Runs one experiment by id.
@@ -109,6 +111,7 @@ fn dispatch(id: &str, world: &World) -> Vec<Artifact> {
         "dyndrain-load" => dynamics_exp::dyndrain_load(world),
         "dynoutage" => dynamics_exp::dynoutage(world),
         "dynpeer" => dynamics_exp::dynpeer(world),
+        "dynring" => dynamics_exp::dynring(world),
         other => panic!("unknown experiment id {other:?}"),
     }
 }

@@ -6,7 +6,8 @@
 use std::path::Path;
 use std::process::Command;
 
-const DYN_IDS: [&str; 5] = ["dynflap", "dyndrain", "dyndrain-load", "dynoutage", "dynpeer"];
+const DYN_IDS: [&str; 6] =
+    ["dynflap", "dyndrain", "dyndrain-load", "dynoutage", "dynpeer", "dynring"];
 
 fn run_repro(out: &Path, threads: u32) {
     let status = Command::new(env!("CARGO_BIN_EXE_repro"))
@@ -106,5 +107,43 @@ fn dynamics_csvs_are_thread_count_invariant_and_incremental_saves_work() {
     assert!(
         escalations >= started,
         "3-stage drains escalate more than once per start ({escalations} < {started})"
+    );
+
+    // The swap ledger: `dynring` promotes once and demotes once, and
+    // every swap epoch is classified exactly one way.
+    let promotions = extract_counter(&metrics, "dynamics.swap.promotions");
+    let demotions = extract_counter(&metrics, "dynamics.swap.demotions");
+    let swap_epochs = extract_counter(&metrics, "dynamics.swap.epochs");
+    assert!(promotions >= 1, "dynring must promote at least once");
+    assert!(demotions >= 1, "dynring must demote at least once");
+    assert_eq!(
+        promotions + demotions,
+        swap_epochs,
+        "swap ledger must balance: {promotions} promotions + {demotions} demotions != {swap_epochs} epochs"
+    );
+    assert!(
+        extract_counter(&metrics, "dynamics.swap.users_rekeyed") > 0,
+        "swaps must carry assignments across the site-id remap"
+    );
+
+    // Even the whole-deployment swap epochs reuse assignments: the
+    // promotion row of dynring.csv must show `reused > 0` (a naive
+    // engine would recompute every user when the deployment changes).
+    let csv = std::fs::read_to_string(d1.join("dynring.csv")).expect("dynring.csv");
+    let header: Vec<&str> = csv.lines().next().expect("header").split(',').collect();
+    let reused_col = header.iter().position(|h| *h == "reused").expect("reused column");
+    let recomputed_col = header.iter().position(|h| *h == "recomputed").expect("recomputed column");
+    let promote_row: Vec<&str> = csv
+        .lines()
+        .find(|l| l.contains("promote R95"))
+        .expect("promotion epoch row")
+        .split(',')
+        .collect();
+    let reused: u64 = promote_row[reused_col].parse().expect("reused count");
+    let recomputed: u64 = promote_row[recomputed_col].parse().expect("recomputed count");
+    assert!(reused > 0, "the promotion epoch reused no assignments");
+    assert!(
+        recomputed < reused,
+        "promotion to a superset ring should touch few users ({recomputed} recomputed vs {reused} reused)"
     );
 }

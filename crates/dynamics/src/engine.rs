@@ -43,8 +43,23 @@
 //! eligibility inside its own group, so it cannot attract users from
 //! other groups; removing a drain re-attracts exactly the users whose
 //! stored key the restored group challenges (it won against them
-//! before, so it beats-or-ties them now). The extended argument, with
-//! the drain state machine and worked examples, lives in
+//! before, so it beats-or-ties them now).
+//!
+//! One refinement sharpens rule 1: a group whose *only* change is its
+//! hosted-site list (routes `Arc` and drain footprint identical — the
+//! shape of site up/down events and of deployment swaps between
+//! nested rings) is diffed site-by-site instead of invalidated
+//! wholesale. Its own users re-rank only when their stored site was
+//! removed or an added site beats it on `materialize`'s
+//! nearest-to-entry tie-break (each assignment stores its path's entry
+//! point for exactly this comparison); removals never challenge other
+//! groups (shrinking a group cannot improve it), additions challenge
+//! through rule 2 as usual. Deployment swaps
+//! ([`RoutingEvent::RingPromote`] and friends) re-key all per-site
+//! state across a stable site-id remap before this diff runs, so a
+//! nested-ring promotion reuses every assignment the new sites do not
+//! beat. The extended argument, with the drain state machine, the
+//! swap remap soundness proof, and worked examples, lives in
 //! `docs/DYNAMICS.md`.
 
 use crate::event::{EventQueue, RoutingEvent};
@@ -103,12 +118,35 @@ struct UserState {
     /// the neighbor that heard the host's announcement, i.e. the
     /// session a `PeeringDown` against that neighbor would sever.
     via: Option<Asn>,
+    /// Entry point of the current path into the origin AS — the anchor
+    /// of `materialize`'s nearest-site tie-break, stored so the
+    /// site-diff rule can test whether an added site would beat the
+    /// stored one without re-materializing the path.
+    entry: Option<GeoPoint>,
     latency_ms: f64,
     path_km: f64,
 }
 
 const UNSERVED: UserState =
-    UserState { site: None, key: None, via: None, latency_ms: 0.0, path_km: 0.0 };
+    UserState { site: None, key: None, via: None, entry: None, latency_ms: 0.0, path_km: 0.0 };
+
+/// One entry of the engine's deployment swap set: an alternative
+/// deployment the engine may switch to mid-scenario via
+/// [`RoutingEvent::RingPromote`] / [`RoutingEvent::RingDemote`] /
+/// [`RoutingEvent::DeploymentSwap`], plus a stable *universe id* per
+/// site. Universe ids identify one physical site across the whole set
+/// (for nested CDN rings: the site's index in the largest ring, see
+/// `cdn::Cdn::ring_universe`); a swap re-keys every piece of per-site
+/// state through them.
+#[derive(Debug, Clone)]
+pub struct SwapDeployment {
+    /// The deployment this entry swaps in.
+    pub deployment: Arc<AnycastDeployment>,
+    /// Universe id of each site, indexed by the deployment's site ids.
+    /// Must be unique within the entry; ids shared across entries mark
+    /// the same physical site.
+    pub universe: Vec<u32>,
+}
 
 /// Snapshot of one origin group of the current catchment: the shared
 /// route table and the hosted sites in original ids, sorted.
@@ -226,6 +264,11 @@ pub struct DynamicsEngine<'g> {
     /// Generation stamp handed to the next drain, so stage and end
     /// events of dead drains are recognizably stale.
     next_gen: u64,
+    /// Deployments the engine may swap between mid-scenario. Empty
+    /// (the default) makes any swap event a hard error.
+    swap_set: Vec<SwapDeployment>,
+    /// Index of the currently effective swap-set entry.
+    current_swap: usize,
 }
 
 impl<'g> DynamicsEngine<'g> {
@@ -262,6 +305,8 @@ impl<'g> DynamicsEngine<'g> {
             capacities: None,
             drains: Vec::new(),
             next_gen: 0,
+            swap_set: Vec::new(),
+            current_swap: 0,
         };
         let mut rec = eng.reassign("init", true);
         eng.baseline_median_ms = rec.median_ms;
@@ -279,12 +324,18 @@ impl<'g> DynamicsEngine<'g> {
     ///
     /// # Panics
     ///
-    /// Panics when `caps` does not cover every site of the deployment.
+    /// Panics when `caps` does not cover every site of the deployment,
+    /// or when a swap set is registered (the capacity table is keyed
+    /// by site id, which a deployment swap redefines).
     pub fn with_capacities(mut self, caps: SiteCapacities) -> Self {
         assert_eq!(
             caps.len(),
             self.base.sites.len(),
             "capacity table must cover every site"
+        );
+        assert!(
+            self.swap_set.is_empty(),
+            "deployment swaps do not support per-site capacities"
         );
         self.capacities = Some(caps);
         let h = self.current_headroom();
@@ -292,6 +343,53 @@ impl<'g> DynamicsEngine<'g> {
             rec.headroom_frac = h;
         }
         self
+    }
+
+    /// Registers the deployments this engine may swap between via
+    /// [`RoutingEvent::RingPromote`] / [`RoutingEvent::RingDemote`] /
+    /// [`RoutingEvent::DeploymentSwap`] events. `current` indexes the
+    /// entry the engine was constructed over. When a swap fires, every
+    /// piece of per-site state — announcement flags, active drains,
+    /// per-user assignments, the group snapshot — is re-keyed through
+    /// the entries' shared universe ids (see [`SwapDeployment`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `current` is out of range, when entry `current`'s
+    /// deployment is not the engine's own handle, when a universe list
+    /// does not cover its deployment's sites or repeats an id, or when
+    /// per-site capacities are configured (swaps and capacities are
+    /// mutually exclusive: the capacity table is keyed by site id).
+    pub fn with_swap_set(mut self, set: Vec<SwapDeployment>, current: usize) -> Self {
+        assert!(current < set.len(), "current swap index {current} out of range");
+        assert!(
+            Arc::ptr_eq(&set[current].deployment, &self.base),
+            "swap set entry {current} must be the engine's own deployment"
+        );
+        assert!(
+            self.capacities.is_none(),
+            "deployment swaps do not support per-site capacities"
+        );
+        for (i, e) in set.iter().enumerate() {
+            assert_eq!(
+                e.universe.len(),
+                e.deployment.sites.len(),
+                "universe of swap entry {i} must cover its sites"
+            );
+            let mut uni = e.universe.clone();
+            uni.sort_unstable();
+            uni.dedup();
+            assert_eq!(uni.len(), e.universe.len(), "universe ids of swap entry {i} must be unique");
+        }
+        self.swap_set = set;
+        self.current_swap = current;
+        self
+    }
+
+    /// Index of the currently effective swap-set entry (0 when no swap
+    /// set is registered).
+    pub fn current_swap(&self) -> usize {
+        self.current_swap
     }
 
     /// The current per-user assignment — serving site (original id),
@@ -452,15 +550,30 @@ impl<'g> DynamicsEngine<'g> {
     /// collapsed): opposing same-target pairs cancel first (recorded
     /// no-op), then site downs, site ups, prefix withdrawals, prefix
     /// restores, peering downs, peering ups, drain ends, drain stages,
-    /// drain starts. A `SiteDown` on a draining site aborts its drain
-    /// (the site failed mid-maintenance); a `SiteUp` on one completes
-    /// it early. Stale generation-stamped drain follow-ups are
-    /// recorded no-ops.
+    /// drain starts, and finally deployment swaps (demotions, then
+    /// promotions, then general swaps; when several survive, the last
+    /// wins and the rest are recorded as superseded). Site events
+    /// co-batched with a swap therefore use *pre-swap* ids. A
+    /// `SiteDown` on a draining site aborts its drain (the site failed
+    /// mid-maintenance); a `SiteUp` on one completes it early. Stale
+    /// generation-stamped drain follow-ups are recorded no-ops — and
+    /// follow-ups are matched by generation stamp *alone*, because a
+    /// swap may have re-keyed (or removed) the site id a queued
+    /// follow-up was scheduled under.
     fn apply_batch(&mut self, batch: &[RoutingEvent]) -> BatchOutcome {
         let n_sites = self.base.sites.len();
         let check = |s: SiteId| {
             assert!((s.0 as usize) < n_sites, "event targets {s} outside the deployment");
             s
+        };
+        let n_swaps = self.swap_set.len();
+        let check_swap = |t: u32| {
+            assert!(
+                (t as usize) < n_swaps,
+                "swap event targets entry {t} but the swap set has {n_swaps} entries \
+                 (register one with with_swap_set)"
+            );
+            t
         };
         let mut downs: Vec<SiteId> = Vec::new();
         let mut ups: Vec<SiteId> = Vec::new();
@@ -468,9 +581,12 @@ impl<'g> DynamicsEngine<'g> {
         let mut restores: Vec<Asn> = Vec::new();
         let mut pdowns: Vec<Asn> = Vec::new();
         let mut pups: Vec<Asn> = Vec::new();
-        let mut ends: Vec<(SiteId, u64)> = Vec::new();
-        let mut stage_evs: Vec<(SiteId, u64)> = Vec::new();
+        let mut ends: Vec<(u64, SiteId)> = Vec::new();
+        let mut stage_evs: Vec<(u64, SiteId)> = Vec::new();
         let mut starts: Vec<(SiteId, f64, u32, f64)> = Vec::new();
+        let mut promotes: Vec<u32> = Vec::new();
+        let mut demotes: Vec<u32> = Vec::new();
+        let mut gswaps: Vec<u32> = Vec::new();
         for ev in batch {
             match *ev {
                 RoutingEvent::SiteDown(s) => downs.push(check(s)),
@@ -479,11 +595,17 @@ impl<'g> DynamicsEngine<'g> {
                 RoutingEvent::PrefixRestore(a) => restores.push(a),
                 RoutingEvent::PeeringDown(a) => pdowns.push(a),
                 RoutingEvent::PeeringUp(a) => pups.push(a),
-                RoutingEvent::DrainEnd { site, gen } => ends.push((check(site), gen)),
-                RoutingEvent::DrainStage { site, gen } => stage_evs.push((check(site), gen)),
+                // Drain follow-ups are keyed by generation, not site:
+                // the carried site id predates any swap and is kept
+                // only for labeling stale no-ops.
+                RoutingEvent::DrainEnd { site, gen } => ends.push((gen, site)),
+                RoutingEvent::DrainStage { site, gen } => stage_evs.push((gen, site)),
                 RoutingEvent::DrainStart { site, stage_ms, stages, hold_ms } => {
                     starts.push((check(site), stage_ms, stages, hold_ms));
                 }
+                RoutingEvent::RingPromote { to } => promotes.push(check_swap(to)),
+                RoutingEvent::RingDemote { to } => demotes.push(check_swap(to)),
+                RoutingEvent::DeploymentSwap { to } => gswaps.push(check_swap(to)),
             }
         }
         for v in [&mut downs, &mut ups] {
@@ -495,11 +617,15 @@ impl<'g> DynamicsEngine<'g> {
             v.dedup();
         }
         ends.sort_unstable();
-        ends.dedup();
+        ends.dedup_by_key(|e| e.0);
         stage_evs.sort_unstable();
-        stage_evs.dedup();
+        stage_evs.dedup_by_key(|e| e.0);
         starts.sort_by_key(|s| s.0);
         starts.dedup_by_key(|s| s.0);
+        for v in [&mut promotes, &mut demotes, &mut gswaps] {
+            v.sort_unstable();
+            v.dedup();
+        }
 
         let mut out = BatchOutcome {
             labels: Vec::new(),
@@ -554,25 +680,34 @@ impl<'g> DynamicsEngine<'g> {
             remove_sorted(&mut self.lost_peerings, a);
             out.labels.push(format!("peering-up {a}"));
         }
-        for &(s, gen) in &ends {
-            out.labels.push(format!("drain-end {s}"));
-            match self.drains.iter().position(|d| d.site == s && d.gen == gen && d.holding) {
+        for &(gen, carried) in &ends {
+            match self.drains.iter().position(|d| d.gen == gen && d.holding) {
                 Some(pos) => {
+                    let s = self.drains[pos].site;
+                    out.labels.push(format!("drain-end {s}"));
                     self.drains.remove(pos);
                     self.alive[s.0 as usize] = true;
                     obs::counter_add("dynamics.drain.completed", 1);
                 }
-                None => out.notes.push(format!("stale drain-end for {s} ignored")),
+                None => {
+                    out.labels.push(format!("drain-end {carried}"));
+                    out.notes.push(format!("stale drain-end for {carried} ignored"));
+                }
             }
         }
-        for &(s, gen) in &stage_evs {
-            out.labels.push(format!("drain-stage {s}"));
-            if self.drains.iter().any(|d| d.site == s && d.gen == gen && !d.holding) {
-                let f = self.escalate(s);
-                out.escalated.push(s);
-                out.followups.push(f);
-            } else {
-                out.notes.push(format!("stale drain-stage for {s} ignored"));
+        for &(gen, carried) in &stage_evs {
+            match self.drains.iter().position(|d| d.gen == gen && !d.holding) {
+                Some(pos) => {
+                    let s = self.drains[pos].site;
+                    out.labels.push(format!("drain-stage {s}"));
+                    let f = self.escalate(s);
+                    out.escalated.push(s);
+                    out.followups.push(f);
+                }
+                None => {
+                    out.labels.push(format!("drain-stage {carried}"));
+                    out.notes.push(format!("stale drain-stage for {carried} ignored"));
+                }
             }
         }
         for &(s, stage_ms, stages, hold_ms) in &starts {
@@ -608,7 +743,152 @@ impl<'g> DynamicsEngine<'g> {
                 out.followups.push(f);
             }
         }
+
+        // Deployment swaps apply last, so every site event above was
+        // interpreted against pre-swap ids. A same-timestamp
+        // promote+demote pair targeting one entry cancels into a
+        // recorded no-op; among several survivors the last (demotes,
+        // then promotes, then general swaps, each ascending) wins.
+        for t in cancel_pairs(&mut promotes, &mut demotes) {
+            let name = self.swap_name(t);
+            out.labels.push(format!("ring-flap {name}"));
+            out.notes.push(format!("promote and demote to {name} cancel (no-op)"));
+        }
+        let survivors: Vec<(&str, u32)> = demotes
+            .iter()
+            .map(|&t| ("demote", t))
+            .chain(promotes.iter().map(|&t| ("promote", t)))
+            .chain(gswaps.iter().map(|&t| ("swap", t)))
+            .collect();
+        for (i, &(verb, t)) in survivors.iter().enumerate() {
+            let name = self.swap_name(t);
+            out.labels.push(format!("{verb} {name}"));
+            if i + 1 < survivors.len() {
+                out.notes
+                    .push(format!("{verb} to {name} superseded by a later swap in this epoch"));
+            }
+        }
+        if let Some(&(_, t)) = survivors.last() {
+            if t as usize == self.current_swap {
+                obs::counter_add("dynamics.swap.noop", 1);
+                out.notes.push(format!(
+                    "swap to the current ring {} (ledgered no-op)",
+                    self.swap_name(t)
+                ));
+            } else {
+                self.apply_swap(t as usize, &mut out);
+            }
+        }
         out
+    }
+
+    /// Display name of swap-set entry `t`.
+    fn swap_name(&self, t: u32) -> String {
+        self.swap_set[t as usize].deployment.name.clone()
+    }
+
+    /// Replaces the effective deployment with swap-set entry `to`,
+    /// re-keying every piece of per-site state — announcement flags,
+    /// active drains, per-user assignments, and the group snapshot —
+    /// across the universe-id site remap. A drain of a site that
+    /// leaves the deployment is cancelled and ledgered as aborted; a
+    /// user whose site leaves keeps the stored candidate key with
+    /// `site: None`, the marker the group diff's rule 0 re-ranks.
+    fn apply_swap(&mut self, to: usize, out: &mut BatchOutcome) {
+        assert!(
+            self.capacities.is_none(),
+            "deployment swaps do not support per-site capacities"
+        );
+        let old_len = self.base.sites.len();
+        let new_dep = Arc::clone(&self.swap_set[to].deployment);
+        let new_len = new_dep.sites.len();
+        // Forward map, old site id → new site id, via shared universe
+        // ids; `None` marks a site leaving the deployment.
+        let mut uni_to_new: DetHashMap<u32, SiteId> = DetHashMap::default();
+        for (i, &u) in self.swap_set[to].universe.iter().enumerate() {
+            uni_to_new.insert(u, SiteId(i as u32));
+        }
+        let fwd: Vec<Option<SiteId>> = self.swap_set[self.current_swap]
+            .universe
+            .iter()
+            .map(|u| uni_to_new.get(u).copied())
+            .collect();
+
+        // Ledger classification is by what actually happened to the
+        // site count — robust to mislabeled events and general swaps —
+        // so `promotions + demotions = swap epochs` always balances.
+        obs::counter_add(
+            if new_len >= old_len { "dynamics.swap.promotions" } else { "dynamics.swap.demotions" },
+            1,
+        );
+        obs::counter_add("dynamics.swap.epochs", 1);
+
+        // Drains: survivors carry their state (and generation stamp —
+        // follow-ups match by stamp alone) under the new id; a drain
+        // of a departing site is cancelled and ledgered.
+        let mut kept: Vec<DrainState> = Vec::new();
+        for mut d in std::mem::take(&mut self.drains) {
+            match fwd[d.site.0 as usize] {
+                Some(ns) => {
+                    d.site = ns;
+                    kept.push(d);
+                }
+                None => {
+                    obs::counter_add("dynamics.drain.aborted", 1);
+                    out.notes.push(format!(
+                        "drain on {} cancelled: site left the deployment (ledgered)",
+                        d.site
+                    ));
+                }
+            }
+        }
+        kept.sort_by_key(|d| d.site);
+        self.drains = kept;
+
+        // Announcement flags: survivors keep theirs (a downed site
+        // stays down across the swap), new arrivals announce. A site
+        // that leaves forfeits its state — re-entering on a later swap
+        // starts alive.
+        let mut alive = vec![true; new_len];
+        for (i, m) in fwd.iter().enumerate() {
+            if let Some(ns) = m {
+                alive[ns.0 as usize] = self.alive[i];
+            }
+        }
+        self.alive = alive;
+
+        // Per-user assignments: survivors re-key in place.
+        let mut rekeyed = 0u64;
+        for st in &mut self.states {
+            if let Some(s) = st.site {
+                match fwd[s.0 as usize] {
+                    Some(ns) => {
+                        st.site = Some(ns);
+                        rekeyed += 1;
+                    }
+                    None => st.site = None,
+                }
+            }
+        }
+        obs::counter_add("dynamics.swap.users_rekeyed", rekeyed);
+
+        // Group snapshot: remap hosted-site and drain-footprint ids,
+        // dropping departed sites. After a pure demotion the surviving
+        // group then compares equal to the freshly computed one, so
+        // the following recompute re-ranks exactly the rule-0 users.
+        for snap in self.groups.values_mut() {
+            snap.sites = snap.sites.iter().filter_map(|s| fwd[s.0 as usize]).collect();
+            snap.sites.sort_unstable();
+            snap.drains = snap
+                .drains
+                .iter()
+                .filter_map(|(s, w)| fwd[s.0 as usize].map(|ns| (ns, w.clone())))
+                .collect();
+            snap.drains.sort_by_key(|(s, _)| *s);
+        }
+
+        self.base = new_dep;
+        self.current_swap = to;
     }
 
     /// Advances `site`'s drain by one stage and returns the follow-up
@@ -791,46 +1071,112 @@ impl<'g> DynamicsEngine<'g> {
         let affected: Vec<usize> = if is_init || self.mode == RecomputeMode::Full {
             (0..n).collect()
         } else {
-            // Diff the group sets. A group whose routes Arc and hosted
-            // sites both survived unchanged ranks and materializes
-            // exactly as before; everything else invalidates its own
-            // users and may challenge others.
+            // Diff the group sets. A group whose routes Arc, hosted
+            // sites, and drain footprint all survived unchanged ranks
+            // and materializes exactly as before. A group whose ONLY
+            // change is its hosted-site list (the site up/down and
+            // deployment-swap shape) is diffed site-by-site: its own
+            // users re-rank only when their stored site was removed or
+            // an added site beats it on `materialize`'s
+            // nearest-to-entry tie-break, and it challenges other
+            // groups' users only when sites were added (shrinking a
+            // group cannot improve it). Everything else invalidates
+            // its own users wholesale and may challenge others.
             let mut invalidated: DetHashSet<(Asn, ExportScope)> = DetHashSet::default();
-            let mut challengers: Vec<Arc<OriginRoutes>> = Vec::new();
+            let mut site_diffed: DetHashMap<(Asn, ExportScope), (Vec<SiteId>, Vec<SiteId>)> =
+                DetHashMap::default();
+            let mut challengers: Vec<((Asn, ExportScope), Arc<OriginRoutes>)> = Vec::new();
             for (k, old) in &self.groups {
                 match new_groups.get(k) {
                     None => {
                         invalidated.insert(*k);
                     }
                     Some(new) => {
-                        if !Arc::ptr_eq(&old.routes, &new.routes)
-                            || old.sites != new.sites
-                            || old.drains != new.drains
-                        {
+                        if Arc::ptr_eq(&old.routes, &new.routes) && old.drains == new.drains {
+                            if old.sites != new.sites {
+                                let added: Vec<SiteId> = new
+                                    .sites
+                                    .iter()
+                                    .copied()
+                                    .filter(|s| old.sites.binary_search(s).is_err())
+                                    .collect();
+                                let removed: Vec<SiteId> = old
+                                    .sites
+                                    .iter()
+                                    .copied()
+                                    .filter(|s| new.sites.binary_search(s).is_err())
+                                    .collect();
+                                if !added.is_empty() {
+                                    challengers.push((*k, Arc::clone(&new.routes)));
+                                }
+                                site_diffed.insert(*k, (added, removed));
+                            }
+                        } else {
                             invalidated.insert(*k);
-                            challengers.push(Arc::clone(&new.routes));
+                            challengers.push((*k, Arc::clone(&new.routes)));
                         }
                     }
                 }
             }
             for (k, new) in &new_groups {
                 if !self.groups.contains_key(k) {
-                    challengers.push(Arc::clone(&new.routes));
+                    challengers.push((*k, Arc::clone(&new.routes)));
                 }
             }
+            let base = &self.base;
+            let states = &self.states;
             (0..n)
                 .filter(|&i| {
                     let src = self.src_idx[i];
-                    match self.states[i].key {
+                    let st = &states[i];
+                    match st.key {
                         Some(key) => {
-                            invalidated.contains(&(key.host, key.scope))
-                                || challengers.iter().any(|r| {
-                                    r.route_at(src).is_some_and(|nr| {
+                            let gk = (key.host, key.scope);
+                            // Rule 0: a stored key with no site only
+                            // arises when a swap removed the user's
+                            // site — nothing else would re-rank them.
+                            if st.site.is_none() || invalidated.contains(&gk) {
+                                return true;
+                            }
+                            if let Some((added, removed)) = site_diffed.get(&gk) {
+                                let s = st.site.expect("checked above");
+                                if removed.binary_search(&s).is_ok() {
+                                    return true;
+                                }
+                                // An added site takes over exactly when
+                                // it beats the stored one on (distance
+                                // to the stored entry point, site id) —
+                                // `materialize`'s tie-break. Comparing
+                                // original ids is order-isomorphic to
+                                // the dense comparison because dense
+                                // re-ids preserve ascending order.
+                                match st.entry {
+                                    Some(e) => {
+                                        let ds =
+                                            base.sites[s.0 as usize].location.distance_km(&e);
+                                        if added.iter().any(|&a| {
+                                            let da = base.sites[a.0 as usize]
+                                                .location
+                                                .distance_km(&e);
+                                            da < ds || (da == ds && a < s)
+                                        }) {
+                                            return true;
+                                        }
+                                    }
+                                    None => return true,
+                                }
+                            }
+                            // The user's own group never challenges
+                            // its own users here: the site-diff rule
+                            // above already decided for them.
+                            challengers.iter().any(|(ck, r)| {
+                                *ck != gk
+                                    && r.route_at(src).is_some_and(|nr| {
                                         key.challenged_by(nr.class, nr.path_len)
                                     })
-                                })
+                            })
                         }
-                        None => challengers.iter().any(|r| r.route_at(src).is_some()),
+                        None => challengers.iter().any(|(_, r)| r.route_at(src).is_some()),
                     }
                 })
                 .collect()
@@ -860,6 +1206,7 @@ impl<'g> DynamicsEngine<'g> {
                         site: Some(dense_to_orig[a.site.0 as usize]),
                         key: Some(key),
                         via,
+                        entry: Some(a.entry),
                         latency_ms: ms,
                         path_km: a.path_km,
                     }

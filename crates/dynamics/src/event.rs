@@ -73,6 +73,32 @@ pub enum RoutingEvent {
     PeeringDown(Asn),
     /// Sessions toward the neighbor come back.
     PeeringUp(Asn),
+    /// Ring promotion: the engine's effective deployment is replaced by
+    /// entry `to` of its registered swap set
+    /// (`DynamicsEngine::with_swap_set`) — one batched epoch of site
+    /// additions and removals with a single recompute, re-keying
+    /// per-user state across the site-id remap. Named for the CDN
+    /// operation it scripts (R74 → R95); semantically identical to
+    /// [`RoutingEvent::DeploymentSwap`], but a same-`SimTime`
+    /// promote+demote pair targeting one ring cancels into a recorded
+    /// no-op.
+    RingPromote {
+        /// Index of the target deployment in the engine's swap set.
+        to: u32,
+    },
+    /// Ring demotion: the inverse operation (R95 → R74). See
+    /// [`RoutingEvent::RingPromote`].
+    RingDemote {
+        /// Index of the target deployment in the engine's swap set.
+        to: u32,
+    },
+    /// A general deployment swap with no promotion/demotion intent
+    /// attached — the escape hatch for non-nested swap sets. Never
+    /// cancels against promote/demote events.
+    DeploymentSwap {
+        /// Index of the target deployment in the engine's swap set.
+        to: u32,
+    },
 }
 
 impl RoutingEvent {
@@ -88,6 +114,9 @@ impl RoutingEvent {
             RoutingEvent::PrefixRestore(a) => format!("restore {a}"),
             RoutingEvent::PeeringDown(a) => format!("peering-down {a}"),
             RoutingEvent::PeeringUp(a) => format!("peering-up {a}"),
+            RoutingEvent::RingPromote { to } => format!("promote ring-{to}"),
+            RoutingEvent::RingDemote { to } => format!("demote ring-{to}"),
+            RoutingEvent::DeploymentSwap { to } => format!("swap ring-{to}"),
         }
     }
 }
@@ -238,6 +267,9 @@ mod tests {
         );
         assert_eq!(RoutingEvent::DrainStage { site: SiteId(2), gen: 7 }.label(), "drain-stage site-2");
         assert_eq!(RoutingEvent::DrainEnd { site: SiteId(2), gen: 7 }.label(), "drain-end site-2");
+        assert_eq!(RoutingEvent::RingPromote { to: 3 }.label(), "promote ring-3");
+        assert_eq!(RoutingEvent::RingDemote { to: 2 }.label(), "demote ring-2");
+        assert_eq!(RoutingEvent::DeploymentSwap { to: 0 }.label(), "swap ring-0");
     }
 
     #[test]

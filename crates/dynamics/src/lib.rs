@@ -5,7 +5,9 @@
 //! answers "what happens while that answer is changing?". A
 //! [`Scenario`] scripts routing events — site failures and recoveries,
 //! load-aware gradual maintenance drains, prefix withdrawals, peering
-//! losses — onto `netsim`'s simulated clock; the [`DynamicsEngine`]
+//! losses, and ring promotions/demotions that swap the whole effective
+//! deployment (see [`SwapDeployment`]) — onto `netsim`'s simulated
+//! clock; the [`DynamicsEngine`]
 //! replays them over a deployment and emits a per-epoch [`Timeline`]:
 //! users shifted, latency inflation, stylized convergence time,
 //! queries landing degraded, capacity headroom, and how much per-user
@@ -39,7 +41,7 @@ pub mod event;
 pub mod scenario;
 pub mod timeline;
 
-pub use engine::{DynUser, DynamicsEngine, RecomputeMode};
+pub use engine::{DynUser, DynamicsEngine, RecomputeMode, SwapDeployment};
 pub use event::{EventQueue, RoutingEvent, ScheduledEvent};
 pub use scenario::{jitter_frac, Scenario};
 pub use timeline::{weighted_median, EpochRecord, Timeline};

@@ -165,6 +165,29 @@ impl Scenario {
             .at(start.plus_ms(duration_ms), RoutingEvent::PeeringUp(neighbor))
     }
 
+    /// A ring promotion held for `hold_ms`, then demoted back: promote
+    /// to swap-set entry `up` at `start`, demote to entry `down` at
+    /// `start + hold_ms` — the R74 → R95 → R74 maintenance cycle the
+    /// `dynring` experiment scripts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hold_ms` is not positive: a zero hold would put the
+    /// promote and demote in the same epoch, where an opposing pair to
+    /// one ring cancels into a no-op.
+    pub fn ring_swap(
+        name: impl Into<String>,
+        up: u32,
+        down: u32,
+        start: SimTime,
+        hold_ms: f64,
+    ) -> Self {
+        assert!(hold_ms > 0.0, "hold_ms must be positive, got {hold_ms}");
+        Self::new(name)
+            .at(start, RoutingEvent::RingPromote { to: up })
+            .at(start.plus_ms(hold_ms), RoutingEvent::RingDemote { to: down })
+    }
+
     /// The latest scripted event time (drain ends scheduled at run time
     /// may extend past this).
     pub fn horizon(&self) -> SimTime {
@@ -241,6 +264,21 @@ mod tests {
             RoutingEvent::DrainStart { site: SiteId(4), stages: 4, .. }
         ));
         assert_eq!(s.horizon().as_secs(), 10.0);
+    }
+
+    #[test]
+    fn ring_swap_promotes_then_demotes() {
+        let s = Scenario::ring_swap("cycle", 3, 2, SimTime::from_secs(60.0), 1_800_000.0);
+        assert_eq!(s.events.len(), 2);
+        assert!(matches!(s.events[0].event, RoutingEvent::RingPromote { to: 3 }));
+        assert!(matches!(s.events[1].event, RoutingEvent::RingDemote { to: 2 }));
+        assert_eq!(s.events[1].at.as_ms() - s.events[0].at.as_ms(), 1_800_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn ring_swap_zero_hold_panics() {
+        Scenario::ring_swap("bad", 3, 2, SimTime::ZERO, 0.0);
     }
 
     #[test]

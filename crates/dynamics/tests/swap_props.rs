@@ -1,0 +1,145 @@
+//! Property tests for deployment swaps: random event sequences over
+//! the nested-ring swap set never panic or lose users, and a
+//! promotion to a superset ring never makes any user worse off at
+//! convergence.
+
+use anycast_dynamics::{
+    DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario, SwapDeployment,
+};
+use cdn::{Cdn, CdnConfig};
+use netsim::{LatencyModel, SimTime};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use topology::gen::Internet;
+use topology::{InternetGenerator, SiteId, TopologyConfig};
+
+/// One shared world: building the topology dominates a proptest case,
+/// so all cases replay scenarios over the same (immutable) internet.
+fn world() -> &'static (Internet, Cdn, Vec<DynUser>) {
+    static WORLD: OnceLock<(Internet, Cdn, Vec<DynUser>)> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let mut net = InternetGenerator::generate(&TopologyConfig::small(131));
+        let cdn = Cdn::build(&mut net, &CdnConfig { scale: 0.12, ..CdnConfig::small() });
+        let users: Vec<DynUser> = net
+            .user_locations()
+            .iter()
+            .map(|l| DynUser {
+                asn: l.asn,
+                location: net.world.region(l.region).center,
+                weight: 1.0,
+                queries_per_day: 1_000.0,
+            })
+            .collect();
+        (net, cdn, users)
+    })
+}
+
+fn swap_set(cdn: &Cdn) -> Vec<SwapDeployment> {
+    cdn.rings
+        .iter()
+        .map(|r| SwapDeployment {
+            deployment: Arc::clone(&r.deployment),
+            universe: cdn.ring_universe(r),
+        })
+        .collect()
+}
+
+fn engine(ring: usize, mode: RecomputeMode) -> DynamicsEngine<'static> {
+    let (net, cdn, users) = world();
+    DynamicsEngine::new(
+        &net.graph,
+        Arc::clone(&cdn.rings[ring].deployment),
+        LatencyModel::default(),
+        users.clone(),
+        mode,
+    )
+    .with_swap_set(swap_set(cdn), ring)
+}
+
+/// Raw generated step: (kind, site selector, ring selector, second).
+/// Selectors are reduced modulo the world's actual sizes in the test
+/// body so the strategy stays independent of the topology scale.
+type Step = (u8, u32, u32, u32);
+
+fn scenario_from(steps: &[Step]) -> Scenario {
+    let (_, cdn, _) = world();
+    let n_rings = cdn.rings.len() as u32;
+    // Sites of the smallest ring exist in every ring, so targeting
+    // them is valid whatever deployment a prior swap left effective.
+    let n_min = cdn.rings[0].deployment.sites.len() as u32;
+    let mut s = Scenario::new("prop");
+    for &(kind, site, ring, sec) in steps {
+        let site = SiteId(site % n_min);
+        let to = ring % n_rings;
+        let t = SimTime::from_secs(f64::from(sec));
+        s = match kind % 5 {
+            0 => s.at(t, RoutingEvent::RingPromote { to }),
+            1 => s.at(t, RoutingEvent::RingDemote { to }),
+            2 => s.at(t, RoutingEvent::SiteDown(site)),
+            3 => s.at(t, RoutingEvent::SiteUp(site)),
+            _ => s.at(
+                t,
+                RoutingEvent::DrainStart {
+                    site,
+                    stage_ms: 20_000.0,
+                    stages: 2,
+                    hold_ms: 40_000.0,
+                },
+            ),
+        };
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any mix of promotes, demotes, site churn, and drains — with
+    /// arbitrary co-batching from colliding timestamps — must run to
+    /// completion, keep one state slot per user, and keep every
+    /// serving site inside the final effective deployment.
+    #[test]
+    fn random_swap_sequences_never_panic_or_lose_users(
+        steps in proptest::collection::vec((0u8..5, 0u32..64, 0u32..8, 1u32..30), 1..12)
+    ) {
+        let mut e = engine(2, RecomputeMode::Incremental);
+        let n_users = e.user_snapshot().len();
+        let t = e.run(&scenario_from(&steps));
+        prop_assert!(t.records.len() >= 2, "init plus at least one epoch");
+        let snap = e.user_snapshot();
+        prop_assert_eq!(snap.len(), n_users, "user slots are conserved");
+        let n_sites = e.deployment().sites.len();
+        for (site, _, _) in &snap {
+            if let Some(s) = site {
+                prop_assert!((s.0 as usize) < n_sites,
+                    "{} outside the effective deployment of {} sites", s, n_sites);
+            }
+        }
+    }
+
+    /// Swapping to a strictly larger nested ring only adds candidate
+    /// sites on unchanged routes: nobody becomes unserved and nobody's
+    /// converged latency goes up.
+    #[test]
+    fn promotion_to_superset_ring_never_hurts(from in 0usize..4, up in 1usize..4) {
+        let (_, cdn, _) = world();
+        // `from < 4` and `up >= 1` keep this strictly above `from`.
+        let to = (from + up).min(cdn.rings.len() - 1);
+        prop_assert!(to > from);
+        let mut e = engine(from, RecomputeMode::Incremental);
+        let before = e.user_snapshot();
+        let s = Scenario::new("promote")
+            .at(SimTime::from_secs(10.0), RoutingEvent::RingPromote { to: to as u32 });
+        e.run(&s);
+        let after = e.user_snapshot();
+        for (i, ((sb, lb, _), (sa, la, _))) in before.iter().zip(&after).enumerate() {
+            if sb.is_some() {
+                prop_assert!(sa.is_some(), "user {} lost service on promotion", i);
+                prop_assert!(
+                    *la <= *lb + 1e-9,
+                    "user {} got slower on promotion: {} -> {} ms", i, lb, la
+                );
+            }
+        }
+    }
+}

@@ -99,6 +99,7 @@ mod tests {
                 GeoPoint::new(0.0, 10.0),
             ],
             path_km: 1100.0,
+            entry: GeoPoint::new(0.0, 10.0),
         }
     }
 

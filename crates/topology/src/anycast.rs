@@ -185,6 +185,13 @@ pub struct SiteAssignment {
     pub waypoints: Vec<GeoPoint>,
     /// Total great-circle length of `waypoints` in km.
     pub path_km: f64,
+    /// Entry point into the origin AS on this path: the last
+    /// interconnect crossed, or the source's serving PoP when the
+    /// source sits inside the origin. Intra-origin site selection is
+    /// "nearest eligible hosted site to this point" — incremental
+    /// layers store it so they can re-evaluate the nearest-site choice
+    /// against a changed site set without re-materializing the path.
+    pub entry: GeoPoint,
 }
 
 impl SiteAssignment {
@@ -694,7 +701,7 @@ impl<'g> Catchment<'g> {
             None => RouteClass::Origin,
             Some(_) => group.routes.route_at(src_idx).expect("had route").class,
         };
-        Some(SiteAssignment { site: site_id, class, as_path, waypoints: wp, path_km })
+        Some(SiteAssignment { site: site_id, class, as_path, waypoints: wp, path_km, entry })
     }
 }
 
