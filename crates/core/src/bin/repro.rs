@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--seed N] [--scale F] [--year 2018|2020] [--threads N] [--verbose] [--out DIR] [ids…|all]
+//! repro [--seed N] [--scale F] [--population N] [--year 2018|2020] [--threads N] [--verbose] [--out DIR] [ids…|all]
 //! ```
 //!
 //! Experiments run concurrently on the deterministic parallel layer
@@ -31,6 +31,7 @@ fn main() {
     let mut scale = 0.5f64;
     let mut year = 2018u16;
     let mut threads = 0usize; // 0 = available parallelism
+    let mut population: Option<usize> = None;
     let mut out_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
@@ -53,6 +54,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--threads needs a non-negative integer"))
             }
+            "--population" => {
+                population = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|p| *p >= 1)
+                        .unwrap_or_else(|| die("--population needs a positive integer")),
+                )
+            }
             "--out" => {
                 out_dir = Some(args.next().unwrap_or_else(|| die("--out needs a directory")))
             }
@@ -73,7 +82,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--seed N] [--scale F] [--year 2018|2020] [--threads N] [--verbose] [--list] [--out DIR] [ids…|all]"
+                    "repro [--seed N] [--scale F] [--population N] [--year 2018|2020] [--threads N] [--verbose] [--list] [--out DIR] [ids…|all]"
                 );
                 println!("ids: {}", ALL_IDS.join(" "));
                 println!("run `repro --list` for one-line descriptions");
@@ -97,7 +106,7 @@ fn main() {
     }
     par::set_threads(threads);
 
-    let config = WorldConfig { seed, scale, year, ..WorldConfig::paper(seed) };
+    let config = WorldConfig { seed, scale, year, dyn_population: population, ..WorldConfig::paper(seed) };
     // World::build opens the `world` span (and its stage children) on
     // this thread; it closes before the experiments fan out below, so no
     // span is open across the parallel region — the recorded span paths

@@ -367,3 +367,63 @@ pub fn dynpeer(world: &World) -> Vec<Artifact> {
         world.population.locations.len(),
     )
 }
+
+/// `dynscale`: the columnar core at population scale. The world's ~2k
+/// weighted locations are deterministically expanded to
+/// [`crate::world::WorldConfig::dyn_population`] per-user rows (1M at
+/// scale 1.0, or `repro --population N`), then the busiest letter's
+/// hottest site flaps three times. Per-event metrics must match the
+/// unexpanded engine's fractions — the expansion splits each source's
+/// weight evenly — while the run summary's invalidation ledger
+/// (`slice_users` vs `scan_equivalent_users`) proves that epoch
+/// invalidation visited group slices, not the population.
+pub fn dynscale(world: &World) -> Vec<Artifact> {
+    let letter = busiest_letter(world);
+    let base = dyn_users(world);
+    let population = world.config.dyn_population();
+    let counts = dynamics::expand_counts(
+        &base.iter().map(|u| u.weight).collect::<Vec<_>>(),
+        population,
+        world.config.seed,
+    );
+    let mut eng = DynamicsEngine::new_expanded(
+        &world.internet.graph,
+        Arc::clone(&letter.deployment),
+        world.model.clone(),
+        &base,
+        &counts,
+        world.config.seed,
+        RecomputeMode::Incremental,
+    );
+    let population = eng.population();
+    let target = hottest_site(&eng);
+    let scenario = Scenario::site_flap(
+        format!("{}-scale-flap", letter.deployment.name),
+        target,
+        SimTime::from_secs(60.0),
+        600_000.0,
+        3,
+        30_000.0,
+        world.config.seed,
+    );
+    let n = eng.deployment().sites.len();
+    let t = eng.run(&scenario);
+    let (slice_users, scan_equiv) = eng.invalidation_ledger();
+    let cohorts = eng.cohort_count();
+    let mut arts = timeline_artifacts(
+        "dynscale",
+        &format!(
+            "Hottest {} site ({target} of {n}) flapping 3× under {population} expanded users",
+            letter.deployment.name
+        ),
+        &t,
+        population,
+    );
+    if let Artifact::Table { rows, .. } = &mut arts[1] {
+        rows.push(vec!["population".into(), population.to_string()]);
+        rows.push(vec!["cohorts".into(), cohorts.to_string()]);
+        rows.push(vec!["slice_users".into(), slice_users.to_string()]);
+        rows.push(vec!["scan_equivalent_users".into(), scan_equiv.to_string()]);
+    }
+    arts
+}

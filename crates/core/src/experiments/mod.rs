@@ -12,16 +12,16 @@ use crate::artifact::Artifact;
 use crate::world::World;
 
 /// All experiment ids, in paper order (extensions and dynamics last).
-pub const ALL_IDS: [&str; 29] = [
+pub const ALL_IDS: [&str; 30] = [
     "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab1", "tab2", "tab4", "tab5", "fig8",
     "fig9", "fig10", "fig11", "fig12", "appc", "fig14", "extunicast", "extlocals", "extddos",
     "extte", "exttld", "extinfer", "dynflap", "dyndrain", "dyndrain-load", "dynoutage", "dynpeer",
-    "dynring",
+    "dynring", "dynscale",
 ];
 
 /// One-line description per experiment id, in [`ALL_IDS`] order — the
 /// catalogue behind `repro --list`.
-pub const DESCRIPTIONS: [(&str, &str); 29] = [
+pub const DESCRIPTIONS: [(&str, &str); 30] = [
     ("fig2", "Geographic and latency inflation per root query (CDFs of users)"),
     ("fig3", "Root queries per user per day, amortization across letters"),
     ("fig4", "CDN latency per page load and per RTT, by ring (CDFs of probes)"),
@@ -51,6 +51,7 @@ pub const DESCRIPTIONS: [(&str, &str); 29] = [
     ("dynoutage", "Dynamics: correlated regional outage of nearby root sites"),
     ("dynpeer", "Dynamics: peering loss toward the heaviest host-adjacent AS"),
     ("dynring", "Dynamics: CDN ring promotion R74 → R95 and demotion back (deployment swaps)"),
+    ("dynscale", "Dynamics: hottest-site flap at an expanded per-user population (columnar core)"),
 ];
 
 /// Runs one experiment by id.
@@ -112,6 +113,7 @@ fn dispatch(id: &str, world: &World) -> Vec<Artifact> {
         "dynoutage" => dynamics_exp::dynoutage(world),
         "dynpeer" => dynamics_exp::dynpeer(world),
         "dynring" => dynamics_exp::dynring(world),
+        "dynscale" => dynamics_exp::dynscale(world),
         other => panic!("unknown experiment id {other:?}"),
     }
 }

@@ -41,6 +41,12 @@ pub struct WorldConfig {
     pub client_samples: u32,
     /// Eyeball peering probability for the CDN (the §7.1 knob).
     pub cdn_eyeball_peering: f64,
+    /// Expanded per-user population for the scale dynamics experiment
+    /// (`dynscale`). `None` derives it from `scale`: 1M users at
+    /// paper scale, proportionally fewer on smaller worlds. The
+    /// `repro --population N` flag sets it explicitly.
+    #[serde(default)]
+    pub dyn_population: Option<usize>,
 }
 
 impl WorldConfig {
@@ -54,7 +60,16 @@ impl WorldConfig {
             log_samples: 25,
             client_samples: 15,
             cdn_eyeball_peering: 0.62,
+            dyn_population: None,
         }
+    }
+
+    /// The expanded dynamics population: the explicit override when
+    /// set, otherwise 1M users at scale 1.0, scaled down linearly
+    /// (never below one user).
+    pub fn dyn_population(&self) -> usize {
+        self.dyn_population
+            .unwrap_or_else(|| ((1_000_000.0 * self.scale).round() as usize).max(1))
     }
 
     /// Medium configuration for the repro binary's default run.

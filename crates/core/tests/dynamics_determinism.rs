@@ -9,7 +9,7 @@ use std::process::Command;
 const DYN_IDS: [&str; 6] =
     ["dynflap", "dyndrain", "dyndrain-load", "dynoutage", "dynpeer", "dynring"];
 
-fn run_repro(out: &Path, threads: u32) {
+fn run_repro_ids(out: &Path, threads: u32, extra: &[&str], ids: &[&str]) {
     let status = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args([
             "--seed",
@@ -21,10 +21,15 @@ fn run_repro(out: &Path, threads: u32) {
             "--out",
             out.to_str().expect("utf8 path"),
         ])
-        .args(DYN_IDS)
+        .args(extra)
+        .args(ids)
         .output()
         .expect("spawn repro");
     assert!(status.status.success(), "repro --threads {threads} failed");
+}
+
+fn run_repro(out: &Path, threads: u32) {
+    run_repro_ids(out, threads, &[], &DYN_IDS);
 }
 
 fn extract_counter(metrics: &str, name: &str) -> u64 {
@@ -146,4 +151,61 @@ fn dynamics_csvs_are_thread_count_invariant_and_incremental_saves_work() {
         recomputed < reused,
         "promotion to a superset ring should touch few users ({recomputed} recomputed vs {reused} reused)"
     );
+}
+
+/// The columnar expanded-population experiment obeys the same
+/// contract: `dynscale` at a 30k `--population` override is
+/// byte-identical across thread counts, and the slice-invalidation
+/// counters prove epoch invalidation walked index slices instead of
+/// scanning the whole population.
+#[test]
+fn dynscale_is_thread_count_invariant_and_slices_beat_scans() {
+    let base = std::env::temp_dir().join("anycast-dynscale-det");
+    let (d1, d8) = (base.join("t1"), base.join("t8"));
+    for d in [&d1, &d8] {
+        let _ = std::fs::remove_dir_all(d);
+        std::fs::create_dir_all(d).expect("mkdir");
+    }
+    run_repro_ids(&d1, 1, &["--population", "30000"], &["dynscale"]);
+    run_repro_ids(&d8, 8, &["--population", "30000"], &["dynscale"]);
+
+    for name in ["dynscale.csv", "dynscalesum.csv", "metrics.json"] {
+        let a = std::fs::read(d1.join(name)).unwrap_or_else(|_| panic!("{name} at t1"));
+        let b = std::fs::read(d8.join(name)).unwrap_or_else(|_| panic!("{name} at t8"));
+        assert_eq!(a, b, "{name} differs between --threads 1 and 8");
+    }
+
+    // The --population override reached the expander: the summary
+    // reports exactly the requested population, fanned over the
+    // world's weighted locations (strictly more cohorts than users
+    // per cohort at this scale).
+    let sum = std::fs::read_to_string(d1.join("dynscalesum.csv")).expect("dynscalesum.csv");
+    assert!(sum.contains("population,30000"), "population row missing:\n{sum}");
+    let cohorts: u64 = sum
+        .lines()
+        .find_map(|l| l.strip_prefix("cohorts,"))
+        .expect("cohorts row")
+        .parse()
+        .expect("cohort count");
+    assert!(cohorts > 100, "expected a real cohort fan-out, saw {cohorts}");
+
+    // Slice invalidation must have visited fewer users than a
+    // per-epoch population scan: the flap's down epochs touch only the
+    // flapped group's slices.
+    let metrics = String::from_utf8(std::fs::read(d1.join("metrics.json")).expect("metrics"))
+        .expect("utf8");
+    let slice = extract_counter(&metrics, "dynamics.invalidation.slice_users");
+    let population = extract_counter(&metrics, "dynamics.invalidation.population");
+    assert!(slice > 0, "no slices were visited");
+    assert!(
+        slice < population,
+        "slice invalidation ({slice}) must undercut the population scan equivalent ({population})"
+    );
+
+    // And the recompute ledger still balances at the expanded scale.
+    let recomputed = extract_counter(&metrics, "dynamics.assign_recomputed");
+    let reused = extract_counter(&metrics, "dynamics.assign_reused");
+    let full = extract_counter(&metrics, "dynamics.full_equiv");
+    assert_eq!(recomputed + reused, full, "expanded recompute ledger must balance");
+    assert!(recomputed < full, "the flap must not recompute the whole population every epoch");
 }

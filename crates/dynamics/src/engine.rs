@@ -9,9 +9,13 @@
 //! the catchment over the *effective* deployment (surviving sites,
 //! current prefix announcements, peering withholds, and per-site
 //! drain withhold sets) — cheap thanks to [`RouteCache`] memoization —
-//! and decides, per user, whether the epoch could possibly have
-//! changed that user's BGP choice. Only challenged users are
-//! re-ranked; the rest reuse their stored assignment verbatim.
+//! and decides, per expansion *cohort* (the contiguous user-id range
+//! fanned out from one weighted source — see [`crate::columnar`]),
+//! whether the epoch could possibly have changed its BGP choice.
+//! Candidate cohorts come from the inverted group index, not a
+//! population scan; only challenged cohorts are re-ranked, and the
+//! result fans across the cohort's column slices. Everybody else
+//! reuses their stored assignment verbatim.
 //!
 //! # Why the reuse rule is sound
 //!
@@ -62,6 +66,7 @@
 //! swap remap soundness proof, and worked examples, lives in
 //! `docs/DYNAMICS.md`.
 
+use crate::columnar::{Cohort, GroupIndex, UserColumns, NO_ASN, NO_KEY, NO_SITE};
 use crate::event::{EventQueue, RoutingEvent};
 use crate::scenario::Scenario;
 use crate::timeline::{weighted_median, EpochRecord, Timeline};
@@ -109,8 +114,12 @@ pub struct DynUser {
     pub queries_per_day: f64,
 }
 
-/// A user's current assignment, in *original* deployment site ids.
-#[derive(Debug, Clone, Copy)]
+/// A cohort's current assignment, in *original* deployment site ids —
+/// the rank-result type the re-rank step produces before fanning it
+/// across the cohort's column slices (every member of an expansion
+/// cohort shares one `(source AS, location)` pair and therefore one
+/// assignment).
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct UserState {
     site: Option<SiteId>,
     key: Option<CandidateKey>,
@@ -238,9 +247,37 @@ pub struct DynamicsEngine<'g> {
     base: Arc<AnycastDeployment>,
     model: LatencyModel,
     mode: RecomputeMode,
-    users: Vec<DynUser>,
-    /// Graph node index of each user's source AS (parallel to `users`).
-    src_idx: Vec<usize>,
+    /// Expansion cohorts in user-id order: cohort `c` owns the
+    /// contiguous user-id range `cohorts[c].range()` of the columns.
+    cohorts: Vec<Cohort>,
+    /// Struct-of-arrays per-user state (see [`UserColumns`]).
+    cols: UserColumns,
+    /// The authoritative per-cohort state: cohort `c`'s members all
+    /// hold exactly `states[c]` fanned out. Every hot path
+    /// (invalidation, apply, aggregates, load accumulation) reads and
+    /// compares this contiguous table; the per-user columns are a view
+    /// materialized from it on demand.
+    states: Vec<UserState>,
+    /// Cohort ids whose column rows lag `states`: the epoch apply
+    /// pushes a mark here instead of fanning values across member
+    /// slices inline, and [`DynamicsEngine::columns`] drains the
+    /// marks. A million-user flap therefore marks a few dozen cohorts
+    /// and writes nothing per-user until a bulk consumer actually asks
+    /// for the columnar view. May hold duplicates between syncs.
+    stale: Vec<u32>,
+    /// Inverted index `(host, scope) → cohort ids` over the *stored*
+    /// winning keys, maintained incrementally so epoch invalidation is
+    /// slice iteration, not a full-population scan.
+    index: GroupIndex,
+    /// Cohorts whose site a deployment swap removed while their stored
+    /// key survived — the rule-0 set, re-ranked unconditionally at the
+    /// next recompute. Sorted; always cleared by `reassign`.
+    orphans: Vec<u32>,
+    /// Running totals behind `dynamics.invalidation.*`: users covered
+    /// by index slices the invalidation actually visited, vs the
+    /// population a per-user scan would have walked.
+    slice_users_total: u64,
+    population_total: u64,
     total_weight: f64,
     cache: RouteCache,
     clock: SimClock,
@@ -253,7 +290,6 @@ pub struct DynamicsEngine<'g> {
     lost_peerings: Vec<Asn>,
     /// Origin-group snapshot of the current catchment.
     groups: DetHashMap<(Asn, ExportScope), GroupSnap>,
-    states: Vec<UserState>,
     baseline_median_ms: Option<f64>,
     init_record: Option<EpochRecord>,
     /// Per-site load limits. `None` (the default) runs drains
@@ -272,8 +308,10 @@ pub struct DynamicsEngine<'g> {
 }
 
 impl<'g> DynamicsEngine<'g> {
-    /// Builds an engine and computes the initial steady-state
-    /// assignment of every user (the `"init"` epoch).
+    /// Builds an engine over the weighted sources as-is — one user row
+    /// per source, weights and query volumes copied verbatim — and
+    /// computes the initial steady-state assignment (the `"init"`
+    /// epoch).
     pub fn new(
         graph: &'g AsGraph,
         deployment: Arc<AnycastDeployment>,
@@ -281,17 +319,86 @@ impl<'g> DynamicsEngine<'g> {
         users: Vec<DynUser>,
         mode: RecomputeMode,
     ) -> Self {
+        let counts = vec![1u32; users.len()];
+        Self::new_expanded(graph, deployment, model, &users, &counts, 0, mode)
+    }
+
+    /// Builds an engine over an *expanded* population: source `i` of
+    /// `base` fans out to `counts[i]` per-user rows occupying one
+    /// contiguous user-id range (an expansion cohort). Each member
+    /// carries an equal share of the source's weight; query volume is
+    /// shared likewise but jittered ±25% per member from `seed`'s
+    /// [`par::seed_for`] stream, so degraded-query accounting is not
+    /// artificially uniform. A count of 1 copies the source verbatim,
+    /// making [`DynamicsEngine::new`] the all-ones special case —
+    /// byte-identical to the pre-columnar engine. The expansion is a
+    /// pure function of `(base, counts, seed)`, identical at any
+    /// `--threads` value; pair it with
+    /// [`crate::columnar::expand_counts`] to apportion a target
+    /// population across weighted sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `counts` does not cover `base` or any count is zero.
+    pub fn new_expanded(
+        graph: &'g AsGraph,
+        deployment: Arc<AnycastDeployment>,
+        model: LatencyModel,
+        base: &[DynUser],
+        counts: &[u32],
+        seed: u64,
+        mode: RecomputeMode,
+    ) -> Self {
+        assert_eq!(base.len(), counts.len(), "one expansion count per source");
         let n_sites = deployment.sites.len();
-        let total_weight = users.iter().map(|u| u.weight).sum();
-        let src_idx = users.iter().map(|u| graph.idx(u.asn)).collect();
-        let n = users.len();
+        let population: usize = counts.iter().map(|&c| c as usize).sum();
+        let mut weight = Vec::with_capacity(population);
+        let mut qpd = Vec::with_capacity(population);
+        let mut cohorts = Vec::with_capacity(base.len());
+        for (u, &k) in base.iter().zip(counts) {
+            assert!(k >= 1, "every source expands to at least one user");
+            let start = weight.len() as u32;
+            if k == 1 {
+                weight.push(u.weight);
+                qpd.push(u.queries_per_day);
+            } else {
+                let share_w = u.weight / k as f64;
+                let share_q = u.queries_per_day / k as f64;
+                for _ in 0..k {
+                    let r = (par::seed_for(seed, weight.len() as u64) >> 11) as f64
+                        / (1u64 << 53) as f64;
+                    weight.push(share_w);
+                    qpd.push(share_q * (0.75 + 0.5 * r));
+                }
+            }
+            // Member-order sums, so the cohort totals are deterministic
+            // (and exactly the source values in the count-1 case).
+            let range = start as usize..weight.len();
+            cohorts.push(Cohort {
+                asn: u.asn,
+                src_idx: graph.idx(u.asn) as u32,
+                location: u.location,
+                start,
+                end: weight.len() as u32,
+                weight: weight[range.clone()].iter().sum(),
+                queries_per_day: qpd[range].iter().sum(),
+            });
+        }
+        let total_weight = cohorts.iter().map(|c| c.weight).sum();
+        let n_cohorts = cohorts.len();
         let mut eng = Self {
             graph,
             base: deployment,
             model,
             mode,
-            users,
-            src_idx,
+            cohorts,
+            cols: UserColumns::with_users(weight, qpd),
+            states: vec![UNSERVED; n_cohorts],
+            stale: Vec::new(),
+            index: GroupIndex::all_unkeyed(n_cohorts),
+            orphans: Vec::new(),
+            slice_users_total: 0,
+            population_total: 0,
             total_weight,
             cache: RouteCache::new(),
             clock: SimClock::new(),
@@ -299,7 +406,6 @@ impl<'g> DynamicsEngine<'g> {
             withdrawn_hosts: Vec::new(),
             lost_peerings: Vec::new(),
             groups: DetHashMap::default(),
-            states: vec![UNSERVED; n],
             baseline_median_ms: None,
             init_record: None,
             capacities: None,
@@ -313,6 +419,57 @@ impl<'g> DynamicsEngine<'g> {
         rec.inflation_ms = rec.median_ms.map(|_| 0.0);
         eng.init_record = Some(rec);
         eng
+    }
+
+    /// Fans one cohort's state across its column slices, eliding every
+    /// column whose stored value already matches (members are uniform,
+    /// so the first row decides for the slice). Runs only when the
+    /// columnar view is materialized, never on the epoch path.
+    fn write_cohort(cols: &mut UserColumns, range: std::ops::Range<usize>, st: &UserState) {
+        let start = range.start;
+        macro_rules! fill {
+            ($col:ident, $val:expr) => {{
+                let v = $val;
+                if cols.$col[start] != v {
+                    cols.$col[range.clone()].fill(v);
+                }
+            }};
+        }
+        fill!(site, st.site.map_or(NO_SITE, |s| s.0));
+        fill!(via, st.via.map_or(NO_ASN, |a| a.0));
+        match st.key {
+            Some(k) => {
+                fill!(key_class, k.class.code());
+                fill!(key_path_len, k.path_len);
+                fill!(key_exit_km, k.exit_km);
+                fill!(key_host, k.host.0);
+                fill!(key_scope, k.scope.code());
+            }
+            None => {
+                fill!(key_class, NO_KEY);
+                fill!(key_path_len, 0);
+                fill!(key_exit_km, 0.0);
+                fill!(key_host, 0);
+                fill!(key_scope, 0);
+            }
+        }
+    }
+
+    /// The materialized columnar view of the population: every stale
+    /// cohort's state is fanned across its member slices (per field,
+    /// skipping columns that already match) before the columns are
+    /// returned. Bulk consumers pay for the fan-out exactly when they
+    /// ask for it; the epoch loop itself never writes a per-user row,
+    /// which is what keeps epoch cost independent of population.
+    pub fn columns(&mut self) -> &UserColumns {
+        let mut stale = std::mem::take(&mut self.stale);
+        stale.sort_unstable();
+        stale.dedup();
+        for ci in stale {
+            let cohort = self.cohorts[ci as usize];
+            Self::write_cohort(&mut self.cols, cohort.range(), &self.states[ci as usize]);
+        }
+        &self.cols
     }
 
     /// Attaches per-site load limits, turning every drain stage into a
@@ -397,7 +554,32 @@ impl<'g> DynamicsEngine<'g> {
     /// rollback oracle of the drain-abort tests: an aborted drain must
     /// leave this byte-identical to the pre-drain snapshot.
     pub fn user_snapshot(&self) -> Vec<(Option<SiteId>, f64, f64)> {
-        self.states.iter().map(|s| (s.site, s.latency_ms, s.path_km)).collect()
+        let mut out = Vec::with_capacity(self.cols.len());
+        for (c, st) in self.cohorts.iter().zip(&self.states) {
+            for _ in c.range() {
+                out.push((st.site, st.latency_ms, st.path_km));
+            }
+        }
+        out
+    }
+
+    /// Expanded population size (number of per-user rows).
+    pub fn population(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of expansion cohorts (distinct weighted sources).
+    pub fn cohort_count(&self) -> usize {
+        self.cohorts.len()
+    }
+
+    /// Running invalidation ledger: `(slice_users, population)` summed
+    /// over every non-init recompute — how many users sat in index
+    /// slices the invalidation actually visited, vs how many a
+    /// per-user scan would have walked. `slice_users < population`
+    /// is the engine's proof of sub-linear epoch work.
+    pub fn invalidation_ledger(&self) -> (u64, u64) {
+        (self.slice_users_total, self.population_total)
     }
 
     /// The `"init"` steady-state epoch computed at construction.
@@ -425,9 +607,32 @@ impl<'g> DynamicsEngine<'g> {
     /// hottest (or coldest) site deterministically.
     pub fn site_loads(&self) -> Vec<f64> {
         let mut loads = vec![0.0; self.base.sites.len()];
-        for (u, st) in self.users.iter().zip(&self.states) {
+        for (c, st) in self.cohorts.iter().zip(&self.states) {
             if let Some(s) = st.site {
-                loads[s.0 as usize] += u.weight;
+                loads[s.0 as usize] += c.weight;
+            }
+        }
+        loads
+    }
+
+    /// User weight entering the deployment through each host-adjacent
+    /// neighbor AS, optionally restricted to the users one site
+    /// currently serves — the shared accumulation behind
+    /// [`DynamicsEngine::transit_loads`] (global) and the per-site
+    /// drain plan. Insertion order is cohort order, so the map
+    /// iterates deterministically.
+    fn via_loads(&self, only_site: Option<SiteId>) -> DetHashMap<Asn, f64> {
+        let mut loads: DetHashMap<Asn, f64> = DetHashMap::default();
+        for (c, st) in self.cohorts.iter().zip(&self.states) {
+            if let Some(s) = only_site {
+                if st.site != Some(s) {
+                    continue;
+                }
+            }
+            if st.site.is_some() {
+                if let Some(via) = st.via {
+                    *loads.entry(via).or_default() += c.weight;
+                }
             }
         }
         loads
@@ -441,13 +646,7 @@ impl<'g> DynamicsEngine<'g> {
     /// that actually carry traffic — withholding is per host neighbor,
     /// so only host-adjacent ASes are meaningful targets.
     pub fn transit_loads(&self) -> Vec<(Asn, f64)> {
-        let mut loads: DetHashMap<Asn, f64> = DetHashMap::default();
-        for (u, st) in self.users.iter().zip(&self.states) {
-            if let Some(via) = st.via {
-                *loads.entry(via).or_default() += u.weight;
-            }
-        }
-        let mut out: Vec<(Asn, f64)> = loads.into_iter().collect();
+        let mut out: Vec<(Asn, f64)> = self.via_loads(None).into_iter().collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -495,12 +694,21 @@ impl<'g> DynamicsEngine<'g> {
     fn epoch(&mut self, batch: &[RoutingEvent], queue: &mut EventQueue) -> EpochRecord {
         let BatchOutcome { labels, mut notes, escalated, followups } = self.apply_batch(batch);
         let label = labels.join(" + ");
-        // Snapshot the derived state only when an abort is possible.
-        let snap = (!escalated.is_empty() && self.capacities.is_some())
-            .then(|| (self.states.clone(), self.groups.clone()));
+        // Snapshot the assignment state only when an abort is
+        // possible. The per-user columns are not part of it: they are
+        // a lazy view of `states`, and the stale marks accumulated by
+        // the aborted recompute simply re-sync on the next access.
+        let snap = (!escalated.is_empty() && self.capacities.is_some()).then(|| {
+            (
+                self.states.clone(),
+                self.groups.clone(),
+                self.index.clone(),
+                self.orphans.clone(),
+            )
+        });
         let mut rec = self.reassign(&label, false);
         let mut committed = true;
-        if let Some((states, groups)) = snap {
+        if let Some((states, groups, index, orphans)) = snap {
             let violation = {
                 let caps = self.capacities.as_ref().expect("snapshot implies capacities");
                 let loads = self.site_loads();
@@ -508,13 +716,16 @@ impl<'g> DynamicsEngine<'g> {
                     .map(|(site, load)| (site, load, caps.capacity(site)))
             };
             if let Some((site, load, cap)) = violation {
-                // Roll back: restore the derived state, cancel every
-                // drain that escalated this epoch, and recompute. The
-                // restored routing inputs equal the pre-epoch ones, so
-                // the (deterministic) recompute provably reproduces
-                // the pre-epoch assignment byte-for-byte.
+                // Roll back: restore the assignment state, cancel
+                // every drain that escalated this epoch, and
+                // recompute. The restored routing inputs equal the
+                // pre-epoch ones, so the (deterministic) recompute
+                // provably reproduces the pre-epoch assignment
+                // byte-for-byte.
                 self.states = states;
                 self.groups = groups;
+                self.index = index;
+                self.orphans = orphans;
                 for &s in &escalated {
                     self.abort_drain(s);
                 }
@@ -857,16 +1068,30 @@ impl<'g> DynamicsEngine<'g> {
         }
         self.alive = alive;
 
-        // Per-user assignments: survivors re-key in place.
+        // Per-user assignments: surviving cohorts re-key their stored
+        // site in place; a cohort whose site left the deployment keeps
+        // its stored key with the site cleared — the rule-0 orphan
+        // marker — and joins the orphan set the next recompute
+        // re-ranks unconditionally. Both shapes go stale for the lazy
+        // column sync.
         let mut rekeyed = 0u64;
-        for st in &mut self.states {
-            if let Some(s) = st.site {
-                match fwd[s.0 as usize] {
-                    Some(ns) => {
-                        st.site = Some(ns);
-                        rekeyed += 1;
-                    }
-                    None => st.site = None,
+        for (c, cohort) in self.cohorts.iter().enumerate() {
+            let Some(s) = self.states[c].site else {
+                continue;
+            };
+            match fwd[s.0 as usize] {
+                Some(ns) => {
+                    self.states[c].site = Some(ns);
+                    self.stale.push(c as u32);
+                    rekeyed += u64::from(cohort.len());
+                }
+                None => {
+                    self.states[c].site = None;
+                    self.stale.push(c as u32);
+                    // `reassign` cleared `orphans` last epoch and one
+                    // swap applies per epoch, so a plain push keeps the
+                    // set sorted and duplicate-free.
+                    self.orphans.push(c as u32);
                 }
             }
         }
@@ -953,14 +1178,7 @@ impl<'g> DynamicsEngine<'g> {
             .collect();
         neigh.sort_unstable();
         neigh.dedup();
-        let mut load: DetHashMap<Asn, f64> = DetHashMap::default();
-        for (u, st) in self.users.iter().zip(&self.states) {
-            if st.site == Some(site) {
-                if let Some(via) = st.via {
-                    *load.entry(via).or_default() += u.weight;
-                }
-            }
-        }
+        let load = self.via_loads(Some(site));
         neigh.sort_by(|a, b| {
             let la = load.get(a).copied().unwrap_or(0.0);
             let lb = load.get(b).copied().unwrap_or(0.0);
@@ -1034,7 +1252,7 @@ impl<'g> DynamicsEngine<'g> {
     /// the affected users (all of them under [`RecomputeMode::Full`] or
     /// at init), and closes the epoch.
     fn reassign(&mut self, label: &str, is_init: bool) -> EpochRecord {
-        let n = self.users.len();
+        let population = self.cols.len();
         // New catchment over whatever is still announced.
         let (catchment, dense_to_orig) = match self.effective_deployment() {
             Some((dep, orig)) => {
@@ -1067,9 +1285,16 @@ impl<'g> DynamicsEngine<'g> {
             }
         }
 
-        // Who must be re-ranked?
-        let affected: Vec<usize> = if is_init || self.mode == RecomputeMode::Full {
-            (0..n).collect()
+        // Who must be re-ranked? Selection walks the *group index*,
+        // not the population: cohorts of a group the epoch provably
+        // did not touch are skipped without visiting their slices, so
+        // `slice_users` — the user count under slices actually
+        // visited — is the honest measure of invalidation work.
+        let n_cohorts = self.cohorts.len();
+        let mut slice_users = 0u64;
+        let affected: Vec<u32> = if is_init || self.mode == RecomputeMode::Full {
+            slice_users = population as u64;
+            (0..n_cohorts as u32).collect()
         } else {
             // Diff the group sets. A group whose routes Arc, hosted
             // sites, and drain footprint all survived unchanged ranks
@@ -1124,71 +1349,106 @@ impl<'g> DynamicsEngine<'g> {
                 }
             }
             let base = &self.base;
-            let states = &self.states;
-            (0..n)
-                .filter(|&i| {
-                    let src = self.src_idx[i];
-                    let st = &states[i];
-                    match st.key {
-                        Some(key) => {
-                            let gk = (key.host, key.scope);
-                            // Rule 0: a stored key with no site only
-                            // arises when a swap removed the user's
-                            // site — nothing else would re-rank them.
-                            if st.site.is_none() || invalidated.contains(&gk) {
-                                return true;
-                            }
-                            if let Some((added, removed)) = site_diffed.get(&gk) {
-                                let s = st.site.expect("checked above");
-                                if removed.binary_search(&s).is_ok() {
-                                    return true;
-                                }
-                                // An added site takes over exactly when
-                                // it beats the stored one on (distance
-                                // to the stored entry point, site id) —
-                                // `materialize`'s tie-break. Comparing
-                                // original ids is order-isomorphic to
-                                // the dense comparison because dense
-                                // re-ids preserve ascending order.
-                                match st.entry {
-                                    Some(e) => {
-                                        let ds =
-                                            base.sites[s.0 as usize].location.distance_km(&e);
-                                        if added.iter().any(|&a| {
-                                            let da = base.sites[a.0 as usize]
-                                                .location
-                                                .distance_km(&e);
-                                            da < ds || (da == ds && a < s)
-                                        }) {
-                                            return true;
-                                        }
-                                    }
-                                    None => return true,
-                                }
-                            }
-                            // The user's own group never challenges
-                            // its own users here: the site-diff rule
-                            // above already decided for them.
-                            challengers.iter().any(|(ck, r)| {
-                                *ck != gk
-                                    && r.route_at(src).is_some_and(|nr| {
-                                        key.challenged_by(nr.class, nr.path_len)
-                                    })
-                            })
-                        }
-                        None => challengers.iter().any(|(_, r)| r.route_at(src).is_some()),
+            let mut out: Vec<u32> = Vec::new();
+            // Rule 0: a stored key with no site only arises when a
+            // swap removed the cohort's site — nothing else would
+            // re-rank them. The swap recorded exactly those cohorts.
+            for &c in &self.orphans {
+                slice_users += u64::from(self.cohorts[c as usize].len());
+                out.push(c);
+            }
+            // Rule 3: unserved cohorts re-rank when an added or
+            // changed group now has any route at their source. With no
+            // challengers the bucket is provably untouched and its
+            // slices are never visited.
+            if !challengers.is_empty() {
+                for &c in &self.index.unkeyed {
+                    let cohort = &self.cohorts[c as usize];
+                    slice_users += u64::from(cohort.len());
+                    let src = cohort.src_idx as usize;
+                    if challengers.iter().any(|(_, r)| r.route_at(src).is_some()) {
+                        out.push(c);
                     }
-                })
-                .collect()
+                }
+            }
+            // Rules 1 and 2, per *stored-key group slice*: a group
+            // that is not invalidated, not site-diffed, and challenged
+            // by nobody else is skipped wholesale — this is where
+            // epoch cost decouples from population.
+            for (gk, members) in &self.index.groups {
+                let inv = invalidated.contains(gk);
+                let sd = site_diffed.get(gk);
+                let challenged = challengers.iter().any(|(ck, _)| ck != gk);
+                if !inv && sd.is_none() && !challenged {
+                    continue;
+                }
+                for &c in members {
+                    // A swap-orphaned cohort keeps its key columns, so
+                    // it still sits in this slice; rule 0 already
+                    // collected (and counted) it.
+                    if self.orphans.binary_search(&c).is_ok() {
+                        continue;
+                    }
+                    let cohort = &self.cohorts[c as usize];
+                    slice_users += u64::from(cohort.len());
+                    let st = &self.states[c as usize];
+                    let key = st.key.expect("keyed slice member");
+                    let Some(s) = st.site.filter(|_| !inv) else {
+                        out.push(c);
+                        continue;
+                    };
+                    if let Some((added, removed)) = sd {
+                        if removed.binary_search(&s).is_ok() {
+                            out.push(c);
+                            continue;
+                        }
+                        // An added site takes over exactly when it
+                        // beats the stored one on (distance to the
+                        // stored entry point, site id) —
+                        // `materialize`'s tie-break. Comparing
+                        // original ids is order-isomorphic to the
+                        // dense comparison because dense re-ids
+                        // preserve ascending order.
+                        let e = st.entry.expect("served member has an entry");
+                        let ds = base.sites[s.0 as usize].location.distance_km(&e);
+                        if added.iter().any(|&a| {
+                            let da = base.sites[a.0 as usize].location.distance_km(&e);
+                            da < ds || (da == ds && a < s)
+                        }) {
+                            out.push(c);
+                            continue;
+                        }
+                    }
+                    // The cohort's own group never challenges its own
+                    // members here: the site-diff rule above already
+                    // decided for them.
+                    let src = cohort.src_idx as usize;
+                    if challengers.iter().any(|(ck, r)| {
+                        *ck != *gk
+                            && r.route_at(src)
+                                .is_some_and(|nr| key.challenged_by(nr.class, nr.path_len))
+                    }) {
+                        out.push(c);
+                    }
+                }
+            }
+            // The three sources are disjoint; the sort restores the
+            // ascending cohort order every downstream accumulation
+            // (and therefore byte-level determinism) depends on.
+            out.sort_unstable();
+            out.dedup();
+            out
         };
 
-        // Re-rank the affected users on the deterministic parallel
-        // layer; index order of `affected` fixes the merge order.
-        let users = &self.users;
+        // Re-rank the affected cohorts on the deterministic parallel
+        // layer; index order of `affected` fixes the merge order. One
+        // BGP decision per cohort serves every member: the decision
+        // sees only `(source AS, location)`, which members share.
+        let cohorts = &self.cohorts;
         let model = &self.model;
         let results: Vec<Option<UserState>> = match &catchment {
-            Some(c) => par::ordered_map(&affected, |_, &i| {
-                let u = &users[i];
+            Some(c) => par::ordered_map(&affected, |_, &ci| {
+                let u = &cohorts[ci as usize];
                 c.assign_with_key(u.asn, &u.location).map(|(a, key)| {
                     let ms = model
                         .median_rtt_ms(&PathProfile::from_assignment(&a, LastMile::Broadband));
@@ -1215,29 +1475,39 @@ impl<'g> DynamicsEngine<'g> {
             None => vec![None; affected.len()],
         };
 
-        // Apply the updates and measure the shift.
+        // Apply the updates: store each rank result in the per-cohort
+        // state table, mark changed cohorts stale for the lazy column
+        // sync, and re-home each cohort in the group index.
         let mut shifted = 0.0;
         let mut shifted_qpd = 0.0;
-        for (&i, &res) in affected.iter().zip(&results) {
-            let old_site = self.states[i].site;
+        for (&ci, &res) in affected.iter().zip(&results) {
+            let cohort = self.cohorts[ci as usize];
+            let old = self.states[ci as usize];
             let new = res.unwrap_or(UNSERVED);
-            if !is_init && new.site != old_site {
-                shifted += self.users[i].weight;
-                shifted_qpd += self.users[i].queries_per_day;
+            if !is_init && new.site != old.site {
+                shifted += cohort.weight;
+                shifted_qpd += cohort.queries_per_day;
             }
-            self.states[i] = new;
+            if new != old {
+                self.stale.push(ci);
+            }
+            self.index.move_cohort(ci, old.key.map(|k| k.group()), new.key.map(|k| k.group()));
+            self.states[ci as usize] = new;
         }
         self.groups = new_groups;
+        self.orphans.clear();
 
-        // Epoch aggregates over the full user base, in index order.
+        // Epoch aggregates in ascending cohort order — per-cohort,
+        // since every member shares its cohort's assignment, so the
+        // cost stays O(cohorts) at any population.
         let mut latency_pts = Vec::new();
         let mut served_w = 0.0;
         let mut path_sum = 0.0;
-        for (u, st) in self.users.iter().zip(&self.states) {
+        for (c, st) in self.cohorts.iter().zip(&self.states) {
             if st.site.is_some() {
-                served_w += u.weight;
-                path_sum += st.path_km * u.weight;
-                latency_pts.push((st.latency_ms, u.weight));
+                served_w += c.weight;
+                path_sum += st.path_km * c.weight;
+                latency_pts.push((st.latency_ms, c.weight));
             }
         }
         let median_ms = weighted_median(&mut latency_pts);
@@ -1249,12 +1519,22 @@ impl<'g> DynamicsEngine<'g> {
         } else {
             0.0
         };
-        let (recomputed, reused) = (affected.len() as u64, (n - affected.len()) as u64);
+        // The recompute ledger stays in *user* units: an affected
+        // cohort recomputes once but stands in for all its members.
+        let recomputed: u64 =
+            affected.iter().map(|&ci| u64::from(self.cohorts[ci as usize].len())).sum();
+        let reused = population as u64 - recomputed;
         obs::counter_add("dynamics.assign_recomputed", recomputed);
         obs::counter_add("dynamics.assign_reused", reused);
         // What a full recompute would have paid for this event — the
         // denominator of the incremental savings.
-        obs::counter_add("dynamics.full_equiv", n as u64);
+        obs::counter_add("dynamics.full_equiv", population as u64);
+        if !is_init {
+            obs::counter_add("dynamics.invalidation.slice_users", slice_users);
+            obs::counter_add("dynamics.invalidation.population", population as u64);
+            self.slice_users_total += slice_users;
+            self.population_total += population as u64;
+        }
         EpochRecord {
             t_ms: self.clock.now().as_ms(),
             event: label.to_string(),
@@ -1612,6 +1892,123 @@ mod tests {
             "one user over capacity must abort: {:?}",
             t.records.iter().map(|r| r.event.clone()).collect::<Vec<_>>()
         );
+    }
+
+    /// The shared `via_loads` accumulator must partition: summing the
+    /// per-site restrictions over every site recovers the global
+    /// transit loads exactly (same cohorts, same additions).
+    #[test]
+    fn via_loads_per_site_partitions_the_global_loads() {
+        let (net, dep, users) = world(4);
+        let e = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let global = e.via_loads(None);
+        assert!(!global.is_empty(), "somebody must enter through a neighbor");
+        let mut merged: DetHashMap<Asn, f64> = DetHashMap::default();
+        for i in 0..dep.sites.len() {
+            for (a, w) in e.via_loads(Some(SiteId(i as u32))) {
+                *merged.entry(a).or_default() += w;
+            }
+        }
+        assert_eq!(merged.len(), global.len());
+        for (a, w) in &global {
+            let m = merged.get(a).copied().unwrap_or(f64::NAN);
+            assert!((m - w).abs() < 1e-9, "via {a}: merged {m} vs global {w}");
+        }
+    }
+
+    /// An expanded engine must agree with the unexpanded one on every
+    /// population-independent metric (medians, fractions, site sets),
+    /// carry ~population rows, and prove sub-linear invalidation work
+    /// on single-site events.
+    #[test]
+    fn expanded_population_preserves_metrics_and_invalidates_sublinearly() {
+        let (net, dep, users) = world(4);
+        let target_pop = 10 * users.len();
+        let counts = crate::columnar::expand_counts(
+            &users.iter().map(|u| u.weight).collect::<Vec<_>>(),
+            target_pop,
+            42,
+        );
+        let mut small = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let mut big = DynamicsEngine::new_expanded(
+            &net.graph,
+            Arc::clone(&dep),
+            LatencyModel::default(),
+            &users,
+            &counts,
+            42,
+            RecomputeMode::Incremental,
+        );
+        assert_eq!(big.population(), target_pop);
+        assert_eq!(big.cohort_count(), users.len());
+        // Equal per-source weights split evenly, so weighted medians
+        // and served fractions must match the unexpanded engine.
+        assert_eq!(big.init_record().median_ms, small.init_record().median_ms);
+        assert_eq!(big.init_record().unserved_frac, small.init_record().unserved_frac);
+        let target = hottest_site(&small);
+        let scenario =
+            Scenario::site_flap("flap", target, SimTime::from_secs(60.0), 600_000.0, 3, 30_000.0, 7);
+        let ts = small.run(&scenario);
+        let tb = big.run(&scenario);
+        for (a, b) in ts.records.iter().zip(&tb.records) {
+            assert_eq!(a.event, b.event);
+            assert!((a.shifted_frac - b.shifted_frac).abs() < 1e-9, "at {}", a.event);
+            assert_eq!(a.median_ms, b.median_ms, "at {}", a.event);
+        }
+        // Ledger identity at the expanded population...
+        for r in &tb.records {
+            assert_eq!(r.recomputed + r.reused, target_pop as u64, "at {}", r.event);
+        }
+        // ...and the slice walk never visited the whole population on
+        // these single-site flaps.
+        let (slice, pop) = big.invalidation_ledger();
+        assert_eq!(pop, (target_pop * (tb.records.len() - 1)) as u64);
+        assert!(slice < pop, "slice {slice} must undercut population {pop}");
+        assert!(slice > 0, "the flapped site's own slices are visited");
+    }
+
+    #[test]
+    fn columns_materialize_exactly_the_cohort_states() {
+        let (net, dep, users) = world(4);
+        let counts = crate::columnar::expand_counts(
+            &users.iter().map(|u| u.weight).collect::<Vec<_>>(),
+            10 * users.len(),
+            42,
+        );
+        let mut e = DynamicsEngine::new_expanded(
+            &net.graph,
+            Arc::clone(&dep),
+            LatencyModel::default(),
+            &users,
+            &counts,
+            42,
+            RecomputeMode::Incremental,
+        );
+        let target = hottest_site(&e);
+        let scenario =
+            Scenario::site_flap("flap", target, SimTime::from_secs(60.0), 600_000.0, 2, 0.0, 7);
+        e.run(&scenario);
+        assert!(!e.stale.is_empty(), "the flap must have marked cohorts stale");
+        let states = e.states.clone();
+        let cohorts = e.cohorts.clone();
+        let cols = e.columns();
+        for (c, st) in cohorts.iter().zip(&states) {
+            for i in c.range() {
+                assert_eq!(cols.site[i], st.site.map_or(NO_SITE, |s| s.0), "site row {i}");
+                assert_eq!(cols.via[i], st.via.map_or(NO_ASN, |a| a.0), "via row {i}");
+                match st.key {
+                    Some(k) => {
+                        assert_eq!(cols.key_class[i], k.class.code(), "class row {i}");
+                        assert_eq!(cols.key_path_len[i], k.path_len, "path_len row {i}");
+                        assert_eq!(cols.key_exit_km[i], k.exit_km, "exit_km row {i}");
+                        assert_eq!(cols.key_host[i], k.host.0, "host row {i}");
+                        assert_eq!(cols.key_scope[i], k.scope.code(), "scope row {i}");
+                    }
+                    None => assert_eq!(cols.key_class[i], NO_KEY, "class row {i}"),
+                }
+            }
+        }
+        assert!(e.stale.is_empty(), "the sync drains every mark");
     }
 
     #[test]

@@ -36,11 +36,13 @@
 
 #![deny(missing_docs)]
 
+pub mod columnar;
 pub mod engine;
 pub mod event;
 pub mod scenario;
 pub mod timeline;
 
+pub use columnar::{expand_counts, Cohort, GroupIndex, UserColumns, NO_ASN, NO_KEY, NO_SITE};
 pub use engine::{DynUser, DynamicsEngine, RecomputeMode, SwapDeployment};
 pub use event::{EventQueue, RoutingEvent, ScheduledEvent};
 pub use scenario::{jitter_frac, Scenario};

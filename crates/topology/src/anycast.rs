@@ -398,6 +398,12 @@ impl CandidateKey {
     pub fn challenged_by(&self, class: RouteClass, path_len: u32) -> bool {
         class > self.class || (class == self.class && path_len <= self.path_len)
     }
+
+    /// The `(host, scope)` origin-group key this candidate belongs to —
+    /// the granularity incremental layers index their users by.
+    pub fn group(&self) -> (Asn, ExportScope) {
+        (self.host, self.scope)
+    }
 }
 
 /// One ranked candidate during the decision process: a group, the
