@@ -577,6 +577,40 @@ mod tests {
     }
 
     #[test]
+    fn headroom_floor_binds_for_idle_and_near_idle_sites() {
+        // A zero-load site would get zero capacity from the factor
+        // alone; the floor must bind there and wherever the scaled
+        // load falls below it, while busy sites keep `load * factor`.
+        let caps = SiteCapacities::from_headroom(&[0.0, 10.0, 0.5], 1.5, 2.0);
+        assert_eq!(caps.capacity(SiteId(0)), 2.0, "idle site gets the floor");
+        assert_eq!(caps.capacity(SiteId(1)), 15.0, "busy site scales by the factor");
+        assert_eq!(caps.capacity(SiteId(2)), 2.0, "0.5 * 1.5 < floor, so the floor binds");
+        assert_eq!(caps.len(), 3);
+    }
+
+    #[test]
+    fn first_overloaded_prefers_the_lowest_id_when_all_exceed() {
+        let caps = SiteCapacities::uniform(3, 5.0);
+        let loads = [9.0, 7.0, 6.0];
+        let hit = caps.first_overloaded(&loads, (0..3).map(|i| SiteId(i)));
+        assert_eq!(hit, Some((SiteId(0), 9.0)), "ascending iteration makes the lowest id win");
+        // Iteration order is the caller's: a reversed walk reports the
+        // highest id instead — the table itself imposes no preference.
+        let rev = caps.first_overloaded(&loads, (0..3).rev().map(|i| SiteId(i)));
+        assert_eq!(rev, Some((SiteId(2), 6.0)));
+    }
+
+    #[test]
+    fn empty_site_sets_have_no_overload_and_no_headroom() {
+        let caps = SiteCapacities::uniform(3, 5.0);
+        assert_eq!(caps.first_overloaded(&[9.0, 9.0, 9.0], std::iter::empty()), None);
+        assert_eq!(caps.min_headroom_frac(&[9.0, 9.0, 9.0], std::iter::empty()), None);
+        // Loads at exactly capacity are *not* overloaded: the drain
+        // abort trigger is strict.
+        assert_eq!(caps.first_overloaded(&[5.0, 5.0, 5.0], (0..3).map(SiteId)), None);
+    }
+
+    #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let (net, dep, users) = setup(2);

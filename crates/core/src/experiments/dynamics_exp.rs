@@ -14,11 +14,13 @@ use crate::artifact::Artifact;
 use crate::world::World;
 use analysis::SiteCapacities;
 use dynamics::{
-    DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario, SwapDeployment, Timeline,
+    DynUser, DynamicsEngine, LoadLedger, RecomputeMode, RoutingEvent, Scenario, SwapDeployment,
+    Timeline,
 };
+use loadmgmt::{DistributedController, HysteresisController, LoadController, ThresholdController};
 use netsim::SimTime;
 use std::sync::Arc;
-use topology::{AnycastDeployment, SiteId};
+use topology::{AnycastDeployment, Asn, SiteId};
 
 /// The user population as dynamics traffic sources. Query volume is the
 /// world's DITL total apportioned by user weight, so degraded-query
@@ -379,22 +381,7 @@ pub fn dynpeer(world: &World) -> Vec<Artifact> {
 /// invalidation visited group slices, not the population.
 pub fn dynscale(world: &World) -> Vec<Artifact> {
     let letter = busiest_letter(world);
-    let base = dyn_users(world);
-    let population = world.config.dyn_population();
-    let counts = dynamics::expand_counts(
-        &base.iter().map(|u| u.weight).collect::<Vec<_>>(),
-        population,
-        world.config.seed,
-    );
-    let mut eng = DynamicsEngine::new_expanded(
-        &world.internet.graph,
-        Arc::clone(&letter.deployment),
-        world.model.clone(),
-        &base,
-        &counts,
-        world.config.seed,
-        RecomputeMode::Incremental,
-    );
+    let mut eng = expanded_engine(world, Arc::clone(&letter.deployment));
     let population = eng.population();
     let target = hottest_site(&eng);
     let scenario = Scenario::site_flap(
@@ -426,4 +413,333 @@ pub fn dynscale(world: &World) -> Vec<Artifact> {
         rows.push(vec!["scan_equivalent_users".into(), scan_equiv.to_string()]);
     }
     arts
+}
+
+/// The columnar engine at [`crate::world::WorldConfig::dyn_population`]
+/// scale: the world's weighted locations deterministically expanded to
+/// per-user rows (1M at scale 1.0, or `repro --population N`).
+fn expanded_engine<'w>(world: &'w World, deployment: Arc<AnycastDeployment>) -> DynamicsEngine<'w> {
+    let base = dyn_users(world);
+    let counts = dynamics::expand_counts(
+        &base.iter().map(|u| u.weight).collect::<Vec<_>>(),
+        world.config.dyn_population(),
+        world.config.seed,
+    );
+    DynamicsEngine::new_expanded(
+        &world.internet.graph,
+        deployment,
+        world.model.clone(),
+        &base,
+        &counts,
+        world.config.seed,
+        RecomputeMode::Incremental,
+    )
+}
+
+/// The load-management policies every `dynload*` experiment compares,
+/// in fixed CSV row order. `none` is the measured baseline: capacities
+/// are configured (so `overload_site_s` accrues) but nothing acts.
+const LOAD_POLICIES: [&str; 4] = ["none", "threshold", "hysteresis", "distributed"];
+
+fn controller_for(policy: &str) -> Option<Box<dyn LoadController>> {
+    match policy {
+        "none" => None,
+        "threshold" => Some(Box::new(ThresholdController)),
+        "hysteresis" => Some(Box::new(HysteresisController::default())),
+        "distributed" => Some(Box::new(DistributedController::default())),
+        other => unreachable!("unknown load policy {other}"),
+    }
+}
+
+/// Capacity table for an overload scenario, derived from the measured
+/// pre-control stress state so the comparison is well-posed at any
+/// world scale. A site the stress pushes above baseline gets capacity
+/// for its baseline plus 60% of the increase — it *must* shed the
+/// rest — but only when it has at least two entry sessions to shed
+/// between: the engine never via-darkens a site, so a tight cap on a
+/// single-session site would be overload no policy can act on,
+/// identical noise in every row. Every other site gets its own
+/// worst-case load plus 20% slack plus a spill budget equal to the
+/// sum, over hit sites, of each site's *lightest* entry session:
+/// sheds are quantized by session weight, so a careful policy's
+/// overshoot (lightest sessions first) always fits, while a policy
+/// that dumps heavy sessions overdraws the budget and turns its own
+/// cure into receiver-side overload. That asymmetry is the
+/// competition.
+fn crowd_caps(
+    init: &[f64],
+    stressed: &[f64],
+    sessions: &[Vec<(Asn, f64)>],
+) -> SiteCapacities {
+    let total: f64 = init.iter().sum();
+    let floor = (total * 0.02).max(1.0);
+    let hit: Vec<bool> = init
+        .iter()
+        .zip(stressed)
+        .zip(sessions)
+        .map(|((i, s), sess)| sess.len() >= 2 && *s > i * 1.05 + 1e-9)
+        .collect();
+    let spill_budget: f64 = sessions
+        .iter()
+        .zip(&hit)
+        .filter(|(_, h)| **h)
+        .map(|(sess, _)| sess.first().map_or(0.0, |(_, w)| *w))
+        .sum();
+    SiteCapacities::from_per_site(
+        init.iter()
+            .zip(stressed)
+            .zip(&hit)
+            .zip(sessions)
+            .map(|(((i, s), h), sess)| {
+                if *h {
+                    // Never demand less than the heaviest single
+                    // session can deliver: that session stays (the
+                    // keep-one rule), so a cap below it would be
+                    // residual overload shedding cannot clear.
+                    let heaviest = sess.last().map_or(0.0, |(_, w)| *w);
+                    (i + (s - i) * 0.6).max(heaviest * 1.01).max(floor)
+                } else {
+                    (i.max(*s) * 1.2 + spill_budget).max(floor)
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Per-site entry sessions (lightest first) in the engine's current
+/// state — [`crowd_caps`]'s raw material for deciding which sites can
+/// shed at all (two or more sessions; the keep-one rule protects the
+/// last) and how big a careful shed can be.
+fn entry_sessions(eng: &DynamicsEngine<'_>) -> Vec<Vec<(Asn, f64)>> {
+    (0..eng.deployment().sites.len())
+        .map(|i| {
+            let mut v: Vec<(Asn, f64)> =
+                eng.site_via_loads(SiteId(i as u32)).into_iter().collect();
+            v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            v
+        })
+        .collect()
+}
+
+/// Runs `scenario` once per [`LOAD_POLICIES`] entry over fresh
+/// expanded engines sharing `caps`, and renders two artifacts: the
+/// closed-loop (distributed) timeline as `{id}.csv`, and a per-policy
+/// comparison as `{id}sum.csv` — overload-seconds, shed/release
+/// ledger, controller rounds, and the latency cost of shedding.
+fn load_family_artifacts(
+    world: &World,
+    id: &str,
+    title: &str,
+    deployment: &Arc<AnycastDeployment>,
+    scenario: &Scenario,
+    caps: &SiteCapacities,
+) -> Vec<Artifact> {
+    let mut runs: Vec<(&str, Timeline, LoadLedger)> = Vec::new();
+    let mut population = 0usize;
+    for policy in LOAD_POLICIES {
+        let mut eng =
+            expanded_engine(world, Arc::clone(deployment)).with_capacities(caps.clone());
+        if let Some(c) = controller_for(policy) {
+            eng = eng.with_controller(c);
+        }
+        let t = eng.run(scenario);
+        population = eng.population();
+        runs.push((policy, t, eng.load_ledger().clone()));
+    }
+    let sum_rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|(policy, t, ledger)| {
+            vec![
+                (*policy).to_string(),
+                format!("{:.3}", ledger.overload_site_s()),
+                format!("{:.3}", ledger.overload_user_s()),
+                format!("{:.3}", ledger.shed_users),
+                format!("{:.3}", ledger.released_users),
+                ledger.controller_rounds.to_string(),
+                format!("{:.6}", ledger.shed_users / population.max(1) as f64),
+                format!("{:.3}", t.max_inflation_ms()),
+                format!(
+                    "{:.3}",
+                    t.records.last().and_then(|r| r.median_ms).unwrap_or(0.0)
+                ),
+            ]
+        })
+        .collect();
+    let dist = runs
+        .into_iter()
+        .find(|(p, _, _)| *p == "distributed")
+        .map(|(_, t, _)| t)
+        .expect("distributed policy always runs");
+    vec![
+        Artifact::Table {
+            id: id.into(),
+            title: format!("{title} — closed-loop (distributed) timeline"),
+            header: Timeline::header(),
+            rows: dist.rows(),
+        },
+        Artifact::Table {
+            id: format!("{id}sum"),
+            title: format!("{title} — policy comparison under {population} users"),
+            header: vec![
+                "policy".into(),
+                "overload_site_s".into(),
+                "overload_user_s".into(),
+                "shed_users".into(),
+                "released_users".into(),
+                "controller_rounds".into(),
+                "shed_frac".into(),
+                "max_inflation_ms".into(),
+                "final_median_ms".into(),
+            ],
+            rows: sum_rows,
+        },
+    ]
+}
+
+/// Site ids ranked by how much material load management has to work
+/// with: entry-session count first (the engine sheds whole sessions
+/// and always keeps one, so a one-session site is untouchable), then
+/// load, then the lower id. Centering a surge on a raw-hottest site
+/// can be vacuous at scales where that site's whole catchment arrives
+/// through a single neighbor.
+fn most_shedable_sites(eng: &DynamicsEngine<'_>) -> Vec<SiteId> {
+    let loads = eng.site_loads();
+    let sessions: Vec<usize> = (0..loads.len())
+        .map(|i| eng.site_via_loads(SiteId(i as u32)).len())
+        .collect();
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    order.sort_by(|&a, &b| {
+        sessions[b]
+            .cmp(&sessions[a])
+            .then(loads[b].total_cmp(&loads[a]))
+            .then(a.cmp(&b))
+    });
+    order.into_iter().map(|i| SiteId(i as u32)).collect()
+}
+
+/// `dynload`: a flash crowd on the busiest letter's most-shedable
+/// catchment (see [`most_shedable_sites`]) —
+/// demand within 6000 km doubles for eight minutes with a controller
+/// tick every minute. The four load policies replay the identical
+/// scenario; the summary compares overload-seconds, shed volume, and
+/// the latency price of shedding.
+pub fn dynload(world: &World) -> Vec<Artifact> {
+    let letter = busiest_letter(world);
+    let mut probe = expanded_engine(world, Arc::clone(&letter.deployment));
+    let init = probe.site_loads();
+    let hot = most_shedable_sites(&probe)[0];
+    let center = letter.deployment.site(hot).location;
+    let (radius_km, factor) = (6_000.0, 2.0);
+    probe.run(&Scenario::new("stress").at(
+        SimTime::from_secs(1.0),
+        RoutingEvent::DemandScale { center, radius_km, factor },
+    ));
+    let caps = crowd_caps(&init, &probe.site_loads(), &entry_sessions(&probe));
+    let scenario = Scenario::flash_crowd(
+        format!("{}-crowd", letter.deployment.name),
+        center,
+        radius_km,
+        factor,
+        SimTime::from_secs(60.0),
+        480_000.0,
+        60_000.0,
+    );
+    load_family_artifacts(
+        world,
+        "dynload",
+        &format!("Flash crowd x{factor} at {} {hot}", letter.deployment.name),
+        &letter.deployment,
+        &scenario,
+        &caps,
+    )
+}
+
+/// `dynload-surge`: a sharper, more local surge — demand within
+/// 3000 km of the busiest letter's most-shedable site triples for six
+/// minutes. Same epicenter as `dynload` but half the radius and half
+/// again the intensity: the overload concentrates on one
+/// multi-session catchment while everything outside the ring stays a
+/// viable spillover target, the regime where lightest-session
+/// shedding pays off most.
+pub fn dynload_surge(world: &World) -> Vec<Artifact> {
+    let letter = busiest_letter(world);
+    let mut probe = expanded_engine(world, Arc::clone(&letter.deployment));
+    let init = probe.site_loads();
+    let target = most_shedable_sites(&probe)[0];
+    let center = letter.deployment.site(target).location;
+    let (radius_km, factor) = (3_000.0, 3.0);
+    probe.run(&Scenario::new("stress").at(
+        SimTime::from_secs(1.0),
+        RoutingEvent::DemandScale { center, radius_km, factor },
+    ));
+    let caps = crowd_caps(&init, &probe.site_loads(), &entry_sessions(&probe));
+    let scenario = Scenario::flash_crowd(
+        format!("{}-surge", letter.deployment.name),
+        center,
+        radius_km,
+        factor,
+        SimTime::from_secs(60.0),
+        360_000.0,
+        60_000.0,
+    );
+    load_family_artifacts(
+        world,
+        "dynload-surge",
+        &format!("Regional surge x{factor} at {} {target}", letter.deployment.name),
+        &letter.deployment,
+        &scenario,
+        &caps,
+    )
+}
+
+/// `dynload-cascade`: overload that *spreads* — demand around the
+/// most-shedable site rises 1.5×, then the site itself fails under
+/// the crowd, dumping its surged multi-session catchment onto
+/// neighbors that were already near capacity. The site recovers after
+/// seven minutes and the crowd subsides a minute later. Single-round
+/// policies chase the cascade one tick at a time; the distributed
+/// policy's bounded spillover recursion settles each epoch before the
+/// clock moves.
+pub fn dynload_cascade(world: &World) -> Vec<Artifact> {
+    let letter = busiest_letter(world);
+    let mut probe = expanded_engine(world, Arc::clone(&letter.deployment));
+    let init = probe.site_loads();
+    let target = most_shedable_sites(&probe)[0];
+    let center = letter.deployment.site(target).location;
+    let (radius_km, factor) = (3_000.0, 1.5);
+    // Stress probe: the crowd *and* the failure, so capacities brace
+    // receivers for the dumped catchment, not just the surge.
+    probe.run(
+        &Scenario::new("stress")
+            .at(
+                SimTime::from_secs(1.0),
+                RoutingEvent::DemandScale { center, radius_km, factor },
+            )
+            .at(SimTime::from_secs(2.0), RoutingEvent::SiteDown(target)),
+    );
+    let caps = crowd_caps(&init, &probe.site_loads(), &entry_sessions(&probe));
+    let scenario = Scenario::new(format!("{}-cascade", letter.deployment.name))
+        .at(
+            SimTime::from_secs(60.0),
+            RoutingEvent::DemandScale { center, radius_km, factor },
+        )
+        .at(SimTime::from_secs(180.0), RoutingEvent::SiteDown(target))
+        .ticks(SimTime::from_secs(240.0), 60_000.0, 6)
+        .at(SimTime::from_secs(600.0), RoutingEvent::SiteUp(target))
+        .at(
+            SimTime::from_secs(660.0),
+            RoutingEvent::DemandScale { center, radius_km, factor: 1.0 / factor },
+        )
+        .ticks(SimTime::from_secs(720.0), 60_000.0, 1);
+    load_family_artifacts(
+        world,
+        "dynload-cascade",
+        &format!(
+            "Cascading overload: crowd x{factor} then {} {target} fails",
+            letter.deployment.name
+        ),
+        &letter.deployment,
+        &scenario,
+        &caps,
+    )
 }

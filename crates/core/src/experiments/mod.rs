@@ -12,16 +12,16 @@ use crate::artifact::Artifact;
 use crate::world::World;
 
 /// All experiment ids, in paper order (extensions and dynamics last).
-pub const ALL_IDS: [&str; 30] = [
+pub const ALL_IDS: [&str; 33] = [
     "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab1", "tab2", "tab4", "tab5", "fig8",
     "fig9", "fig10", "fig11", "fig12", "appc", "fig14", "extunicast", "extlocals", "extddos",
     "extte", "exttld", "extinfer", "dynflap", "dyndrain", "dyndrain-load", "dynoutage", "dynpeer",
-    "dynring", "dynscale",
+    "dynring", "dynscale", "dynload", "dynload-surge", "dynload-cascade",
 ];
 
 /// One-line description per experiment id, in [`ALL_IDS`] order — the
 /// catalogue behind `repro --list`.
-pub const DESCRIPTIONS: [(&str, &str); 30] = [
+pub const DESCRIPTIONS: [(&str, &str); 33] = [
     ("fig2", "Geographic and latency inflation per root query (CDFs of users)"),
     ("fig3", "Root queries per user per day, amortization across letters"),
     ("fig4", "CDN latency per page load and per RTT, by ring (CDFs of probes)"),
@@ -52,6 +52,9 @@ pub const DESCRIPTIONS: [(&str, &str); 30] = [
     ("dynpeer", "Dynamics: peering loss toward the heaviest host-adjacent AS"),
     ("dynring", "Dynamics: CDN ring promotion R74 → R95 and demotion back (deployment swaps)"),
     ("dynscale", "Dynamics: hottest-site flap at an expanded per-user population (columnar core)"),
+    ("dynload", "Dynamics: flash crowd under four load-management policies (closed loop)"),
+    ("dynload-surge", "Dynamics: sharp regional surge under four load-management policies"),
+    ("dynload-cascade", "Dynamics: cascading overload — a crowd, then the crowded site fails"),
 ];
 
 /// Runs one experiment by id.
@@ -114,6 +117,9 @@ fn dispatch(id: &str, world: &World) -> Vec<Artifact> {
         "dynpeer" => dynamics_exp::dynpeer(world),
         "dynring" => dynamics_exp::dynring(world),
         "dynscale" => dynamics_exp::dynscale(world),
+        "dynload" => dynamics_exp::dynload(world),
+        "dynload-surge" => dynamics_exp::dynload_surge(world),
+        "dynload-cascade" => dynamics_exp::dynload_cascade(world),
         other => panic!("unknown experiment id {other:?}"),
     }
 }

@@ -209,3 +209,79 @@ fn dynscale_is_thread_count_invariant_and_slices_beat_scans() {
     assert_eq!(recomputed + reused, full, "expanded recompute ledger must balance");
     assert!(recomputed < full, "the flap must not recompute the whole population every epoch");
 }
+
+/// The closed-loop overload family obeys the same contract: all three
+/// `dynload*` ids at a 30k `--population` override are byte-identical
+/// across thread counts, and the `dynamics.load.*` ledger shows the
+/// controllers actually ran (rounds decided, weight shed, nothing
+/// released that was never withheld).
+#[test]
+fn dynload_family_is_thread_count_invariant_and_ledgered() {
+    let ids = ["dynload", "dynload-surge", "dynload-cascade"];
+    let base = std::env::temp_dir().join("anycast-dynload-det");
+    let (d1, d8) = (base.join("t1"), base.join("t8"));
+    for d in [&d1, &d8] {
+        let _ = std::fs::remove_dir_all(d);
+        std::fs::create_dir_all(d).expect("mkdir");
+    }
+    run_repro_ids(&d1, 1, &["--population", "30000"], &ids);
+    run_repro_ids(&d8, 8, &["--population", "30000"], &ids);
+
+    for id in ids {
+        for name in [format!("{id}.csv"), format!("{id}sum.csv")] {
+            let a = std::fs::read(d1.join(&name)).unwrap_or_else(|_| panic!("{name} at t1"));
+            let b = std::fs::read(d8.join(&name)).unwrap_or_else(|_| panic!("{name} at t8"));
+            assert_eq!(a, b, "{name} differs between --threads 1 and 8");
+        }
+    }
+    let m1 = std::fs::read(d1.join("metrics.json")).expect("metrics at t1");
+    let m8 = std::fs::read(d8.join("metrics.json")).expect("metrics at t8");
+    assert_eq!(m1, m8, "metrics.json differs between --threads 1 and 8");
+
+    // The load ledger (summed over every controller-attached run of
+    // the three experiments): controllers decided at least one round,
+    // shed real weight, and released at most what they shed.
+    let metrics = String::from_utf8(m1).expect("utf8");
+    let rounds = extract_counter(&metrics, "dynamics.load.controller_rounds");
+    let shed = extract_counter(&metrics, "dynamics.load.shed_users");
+    let released = extract_counter(&metrics, "dynamics.load.released_users");
+    assert!(rounds >= 3, "three scenarios × three active policies, saw {rounds} rounds");
+    assert!(shed > 0, "the crowds must force real sheds");
+    assert!(released <= shed, "released ({released}) cannot exceed shed ({shed})");
+    assert!(
+        extract_counter(&metrics, "dynamics.load.overload_ms") > 0,
+        "the none-policy baselines must accrue overload time"
+    );
+
+    // The experiment's own acceptance claim, at smoke scale: the
+    // distributed policy strictly beats the naive threshold on
+    // user-weighted overload in every scenario.
+    for id in ids {
+        let sum = std::fs::read_to_string(d1.join(format!("{id}sum.csv"))).expect("sum csv");
+        let header: Vec<&str> = sum.lines().next().expect("header").split(',').collect();
+        let col = header
+            .iter()
+            .position(|h| *h == "overload_user_s")
+            .expect("overload_user_s column");
+        let overload = |policy: &str| -> f64 {
+            sum.lines()
+                .find(|l| l.starts_with(policy))
+                .unwrap_or_else(|| panic!("{policy} row in {id}sum.csv"))
+                .split(',')
+                .nth(col)
+                .expect("column")
+                .parse()
+                .expect("numeric overload")
+        };
+        let (dist, thresh) = (overload("distributed"), overload("threshold"));
+        let hyst = overload("hysteresis");
+        assert!(
+            dist < thresh,
+            "{id}: distributed ({dist}) must strictly beat threshold ({thresh})"
+        );
+        assert!(
+            dist <= hyst && hyst <= thresh,
+            "{id}: hysteresis ({hyst}) must land between distributed ({dist}) and threshold ({thresh})"
+        );
+    }
+}

@@ -72,6 +72,7 @@ use crate::scenario::Scenario;
 use crate::timeline::{weighted_median, EpochRecord, Timeline};
 use analysis::SiteCapacities;
 use geo::GeoPoint;
+use loadmgmt::{LoadAction, LoadController, LoadObservation};
 use netsim::{LastMile, LatencyModel, PathProfile, SimClock, SimTime};
 use par::{DetHashMap, DetHashSet};
 use std::sync::Arc;
@@ -305,6 +306,66 @@ pub struct DynamicsEngine<'g> {
     swap_set: Vec<SwapDeployment>,
     /// Index of the currently effective swap-set entry.
     current_swap: usize,
+    /// Attached closed-loop load controller (`None` — the default —
+    /// reproduces today's behavior byte-for-byte).
+    controller: Option<Box<dyn LoadController>>,
+    /// Controller-withheld sessions per original site id, each sorted
+    /// by ASN and carrying the user weight the session had when
+    /// withheld (the release-projection estimate).
+    ctrl_withheld: Vec<Vec<(Asn, f64)>>,
+    /// Per-cohort demand multipliers not yet folded into the per-user
+    /// weight/query columns — the lazy columnar sync for
+    /// [`RoutingEvent::DemandScale`], drained by
+    /// [`DynamicsEngine::columns`] so a surge epoch costs O(cohorts),
+    /// not O(population).
+    demand_mult: Vec<f64>,
+    /// The `dynamics.load.*` ledger accumulators.
+    load_ledger: LoadLedger,
+}
+
+/// The closed-loop load-management ledger of one engine run — what the
+/// `dynamics.load.*` obs counters report, kept in float precision for
+/// experiment tables.
+///
+/// Identities: `released_users ≤ shed_users` (a release gives back
+/// weight a withhold recorded earlier, never more), and
+/// `controller_rounds` counts only rounds that emitted at least one
+/// effective action, so it is bounded by epochs × the controller's
+/// `max_rounds`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadLedger {
+    /// Total user weight carried by sessions at the moment the
+    /// controller withheld them.
+    pub shed_users: f64,
+    /// Total recorded weight of withheld sessions the controller
+    /// released again.
+    pub released_users: f64,
+    /// Controller decision rounds that applied at least one action.
+    pub controller_rounds: u64,
+    /// Overloaded-site time, summed as (announced sites over capacity)
+    /// × (interval length) over the run, in site-milliseconds. Accrued
+    /// whenever capacities are configured, controller or not — the
+    /// do-nothing baseline of the `dynload` comparisons.
+    pub overload_site_ms: f64,
+    /// Unserved-demand exposure: Σ over intervals of (total user
+    /// weight above capacity, summed across announced sites) ×
+    /// (interval length), in user-milliseconds. The site count above
+    /// is blind to magnitude — a policy that trades one overloaded
+    /// site for another breaks even there no matter how much load it
+    /// dumped; this integral is what that churn actually costs users.
+    pub overload_user_ms: f64,
+}
+
+impl LoadLedger {
+    /// Overloaded-site time in site-seconds.
+    pub fn overload_site_s(&self) -> f64 {
+        self.overload_site_ms / 1000.0
+    }
+
+    /// Unserved-demand exposure in user-seconds.
+    pub fn overload_user_s(&self) -> f64 {
+        self.overload_user_ms / 1000.0
+    }
 }
 
 impl<'g> DynamicsEngine<'g> {
@@ -413,6 +474,10 @@ impl<'g> DynamicsEngine<'g> {
             next_gen: 0,
             swap_set: Vec::new(),
             current_swap: 0,
+            controller: None,
+            ctrl_withheld: vec![Vec::new(); n_sites],
+            demand_mult: vec![1.0; n_cohorts],
+            load_ledger: LoadLedger::default(),
         };
         let mut rec = eng.reassign("init", true);
         eng.baseline_median_ms = rec.median_ms;
@@ -468,6 +533,21 @@ impl<'g> DynamicsEngine<'g> {
         for ci in stale {
             let cohort = self.cohorts[ci as usize];
             Self::write_cohort(&mut self.cols, cohort.range(), &self.states[ci as usize]);
+        }
+        // Fold pending demand multipliers into the weight and query
+        // columns (the `DemandScale` half of the lazy sync).
+        for ci in 0..self.demand_mult.len() {
+            let m = self.demand_mult[ci];
+            if m != 1.0 {
+                let range = self.cohorts[ci].range();
+                for w in &mut self.cols.weight[range.clone()] {
+                    *w *= m;
+                }
+                for q in &mut self.cols.queries_per_day[range] {
+                    *q *= m;
+                }
+                self.demand_mult[ci] = 1.0;
+            }
         }
         &self.cols
     }
@@ -547,6 +627,42 @@ impl<'g> DynamicsEngine<'g> {
     /// set is registered).
     pub fn current_swap(&self) -> usize {
         self.current_swap
+    }
+
+    /// Attaches a closed-loop load controller. After every epoch's
+    /// routing events settle (and any drain-abort check has run — the
+    /// controller always observes committed state), the engine runs up
+    /// to [`LoadController::max_rounds`] observe → decide → apply
+    /// rounds at the same `SimTime`: each round's shed/release actions
+    /// land as per-neighbor session withholds merged with the drain
+    /// withhold sets, followed by one incremental recompute recorded
+    /// as its own timeline row. A round with no actions ends the loop.
+    /// The `dynamics.load.*` counters ledger the run.
+    ///
+    /// [`loadmgmt::NullController`] never acts, so attaching it leaves
+    /// every record byte-identical to no controller at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no capacities are configured: a controller without
+    /// [`DynamicsEngine::with_capacities`] has no overload signal
+    /// (this also keeps controllers and deployment swaps mutually
+    /// exclusive, since capacities already exclude swap sets).
+    pub fn with_controller(mut self, controller: Box<dyn LoadController>) -> Self {
+        assert!(
+            self.capacities.is_some(),
+            "a load controller needs with_capacities first (no overload signal without limits)"
+        );
+        self.controller = Some(controller);
+        self
+    }
+
+    /// The `dynamics.load.*` ledger of this run so far: weight shed
+    /// and released by the attached controller, effective controller
+    /// rounds, and overloaded-site time (accrued whenever capacities
+    /// are configured, controller or not).
+    pub fn load_ledger(&self) -> &LoadLedger {
+        &self.load_ledger
     }
 
     /// The current per-user assignment — serving site (original id),
@@ -651,6 +767,105 @@ impl<'g> DynamicsEngine<'g> {
         out
     }
 
+    /// User weight entering the deployment through each host-adjacent
+    /// neighbor AS *among the users `site` currently serves* — one
+    /// site's share of [`DynamicsEngine::global_via_loads`]. Load
+    /// controllers and drain plans both shed in units of these entry
+    /// sessions.
+    pub fn site_via_loads(&self, site: SiteId) -> DetHashMap<Asn, f64> {
+        self.via_loads(Some(site))
+    }
+
+    /// User weight entering the deployment through each host-adjacent
+    /// neighbor AS, across all sites. Users inside a host AS cross no
+    /// such session and are not counted.
+    ///
+    /// The per-site views partition this global view: every (neighbor,
+    /// weight) entry is the sum of the per-site entries, because each
+    /// served cohort has exactly one serving site.
+    ///
+    /// ```
+    /// use anycast_dynamics::{DynUser, DynamicsEngine, RecomputeMode};
+    /// use netsim::LatencyModel;
+    /// use par::DetHashMap;
+    /// use std::sync::Arc;
+    /// use topology::{
+    ///     AnycastDeployment, AnycastSite, Asn, InternetGenerator, SiteId, SiteScope,
+    ///     TopologyConfig,
+    /// };
+    ///
+    /// let mut net = InternetGenerator::generate(&TopologyConfig::small(111));
+    /// let sites: Vec<AnycastSite> = net
+    ///     .sample_hosters(3)
+    ///     .iter()
+    ///     .enumerate()
+    ///     .map(|(i, h)| AnycastSite {
+    ///         id: SiteId(i as u32),
+    ///         name: format!("s{i}"),
+    ///         host: *h,
+    ///         location: net.graph.node(*h).pops[0],
+    ///         scope: SiteScope::Global,
+    ///     })
+    ///     .collect();
+    /// let dep = Arc::new(AnycastDeployment::new("doc", sites, vec![]));
+    /// let users: Vec<DynUser> = net
+    ///     .user_locations()
+    ///     .iter()
+    ///     .map(|l| DynUser {
+    ///         asn: l.asn,
+    ///         location: net.world.region(l.region).center,
+    ///         weight: 1.0,
+    ///         queries_per_day: 1_000.0,
+    ///     })
+    ///     .collect();
+    /// let eng = DynamicsEngine::new(
+    ///     &net.graph,
+    ///     dep,
+    ///     LatencyModel::default(),
+    ///     users,
+    ///     RecomputeMode::Incremental,
+    /// );
+    ///
+    /// let global = eng.global_via_loads();
+    /// let mut merged: DetHashMap<Asn, f64> = DetHashMap::default();
+    /// for s in (0..3).map(SiteId) {
+    ///     for (a, w) in eng.site_via_loads(s) {
+    ///         *merged.entry(a).or_default() += w;
+    ///     }
+    /// }
+    /// assert_eq!(merged.len(), global.len());
+    /// for (a, w) in &global {
+    ///     let m = merged.get(a).copied().unwrap_or(0.0);
+    ///     assert!((m - w).abs() < 1e-9, "session {a} splits exactly across sites");
+    /// }
+    /// ```
+    pub fn global_via_loads(&self) -> DetHashMap<Asn, f64> {
+        self.via_loads(None)
+    }
+
+    /// Entry-session loads per site in one cohort pass: element `s`
+    /// lists the `(neighbor, weight)` sessions of the users site `s`
+    /// currently serves, lightest first (ties by ASN) — the shed
+    /// ordering convention shared with drain plans, and the
+    /// controller's observation. Cost is O(cohorts), independent of
+    /// the expanded population.
+    fn via_loads_by_site(&self) -> Vec<Vec<(Asn, f64)>> {
+        let mut maps: Vec<DetHashMap<Asn, f64>> =
+            vec![DetHashMap::default(); self.base.sites.len()];
+        for (c, st) in self.cohorts.iter().zip(&self.states) {
+            if let (Some(s), Some(via)) = (st.site, st.via) {
+                *maps[s.0 as usize].entry(via).or_default() += c.weight;
+            }
+        }
+        maps.into_iter()
+            .map(|m| {
+                let mut v: Vec<(Asn, f64)> = m.into_iter().collect();
+                v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                v
+            })
+            .collect()
+    }
+
     /// Runs `scenario` to completion and returns the per-epoch time
     /// series, led by the `"init"` epoch. Every event sharing one
     /// `SimTime` lands in the same epoch: one batched apply, one
@@ -670,10 +885,22 @@ impl<'g> DynamicsEngine<'g> {
             {
                 batch.push(queue.pop().expect("peeked").event);
             }
+            // Loads were constant since the last epoch closed: accrue
+            // overloaded-site time for the interval ending now.
+            if self.capacities.is_some() {
+                let dt = first.at.as_ms() - self.clock.now().as_ms();
+                if dt > 0.0 {
+                    let (over, excess) = self.overload_snapshot();
+                    if over > 0 {
+                        self.load_ledger.overload_site_ms += dt * over as f64;
+                        self.load_ledger.overload_user_ms += dt * excess;
+                    }
+                }
+            }
             self.clock.advance_to(first.at);
             obs::counter_add("dynamics.events_processed", batch.len() as u64);
             processed += batch.len() as u64;
-            timeline.records.push(self.epoch(&batch, &mut queue));
+            timeline.records.extend(self.epoch(&batch, &mut queue));
             obs::counter_add("dynamics.epochs", 1);
         }
         // Close the drain ledger: whatever is still draining when the
@@ -682,8 +909,52 @@ impl<'g> DynamicsEngine<'g> {
         if !self.drains.is_empty() {
             obs::counter_add("dynamics.drain.staged", self.drains.len() as u64);
         }
+        // Close the load ledger. Overload left standing after the last
+        // event accrues nothing (there is no later instant to measure
+        // to), which is why controller scenarios end with a restore
+        // plus a trailing tick. Emitted only when a controller is
+        // attached, so controller-less runs leave metrics untouched.
+        if self.controller.is_some() {
+            obs::counter_add(
+                "dynamics.load.shed_users",
+                self.load_ledger.shed_users.round() as u64,
+            );
+            obs::counter_add(
+                "dynamics.load.released_users",
+                self.load_ledger.released_users.round() as u64,
+            );
+            obs::counter_add(
+                "dynamics.load.overload_ms",
+                self.load_ledger.overload_site_ms.round() as u64,
+            );
+            obs::counter_add(
+                "dynamics.load.overload_user_ms",
+                self.load_ledger.overload_user_ms.round() as u64,
+            );
+            obs::counter_add(
+                "dynamics.load.controller_rounds",
+                self.load_ledger.controller_rounds,
+            );
+        }
         span.add_items(processed);
         timeline
+    }
+
+    /// Announced sites currently loaded past their capacity, and their
+    /// total user weight above it.
+    fn overload_snapshot(&self) -> (usize, f64) {
+        let Some(caps) = self.capacities.as_ref() else { return (0, 0.0) };
+        let loads = self.site_loads();
+        let mut count = 0usize;
+        let mut excess = 0.0f64;
+        for s in self.announced_sites() {
+            let over = loads[s.0 as usize] - caps.capacity(s);
+            if over > 0.0 {
+                count += 1;
+                excess += over;
+            }
+        }
+        (count, excess)
     }
 
     /// Applies one same-timestamp batch, recomputes, and — when drains
@@ -691,7 +962,11 @@ impl<'g> DynamicsEngine<'g> {
     /// load check, rolling the whole escalation back into a
     /// `drain-abort` record if any announced site would exceed its
     /// limit. Follow-up drain events are scheduled only on commit.
-    fn epoch(&mut self, batch: &[RoutingEvent], queue: &mut EventQueue) -> EpochRecord {
+    /// With a controller attached, its decision rounds then run at the
+    /// same `SimTime` against the committed state, each appending one
+    /// more record — so an epoch yields one record plus zero or more
+    /// `ctrl[…]` rounds.
+    fn epoch(&mut self, batch: &[RoutingEvent], queue: &mut EventQueue) -> Vec<EpochRecord> {
         let BatchOutcome { labels, mut notes, escalated, followups } = self.apply_batch(batch);
         let label = labels.join(" + ");
         // Snapshot the assignment state only when an abort is
@@ -752,7 +1027,88 @@ impl<'g> DynamicsEngine<'g> {
         }
         rec.headroom_frac = self.current_headroom();
         rec.note = notes.join("; ");
-        rec
+        let mut records = vec![rec];
+        if self.controller.is_some() {
+            self.controller_rounds(&mut records);
+        }
+        records
+    }
+
+    /// Runs the attached controller's observe → decide → apply rounds
+    /// for the epoch that just closed, appending one record per
+    /// effective round. Decisions read only per-cohort aggregates
+    /// (loads, entry sessions), so a round's cost is independent of
+    /// the expanded population.
+    fn controller_rounds(&mut self, records: &mut Vec<EpochRecord>) {
+        let mut ctrl = self.controller.take().expect("caller checked");
+        for _ in 0..ctrl.max_rounds().max(1) {
+            let loads = self.site_loads();
+            let sessions = self.via_loads_by_site();
+            let mut announced = vec![false; self.base.sites.len()];
+            for s in self.announced_sites() {
+                announced[s.0 as usize] = true;
+            }
+            let actions = {
+                let caps = self.capacities.as_ref().expect("with_controller requires capacities");
+                ctrl.decide(&LoadObservation {
+                    loads: &loads,
+                    caps,
+                    sessions: &sessions,
+                    withheld: &self.ctrl_withheld,
+                    announced: &announced,
+                })
+            };
+            if actions.is_empty() {
+                break;
+            }
+            let (mut shed_w, mut rel_w) = (0.0, 0.0);
+            let (mut shed_n, mut rel_n) = (0usize, 0usize);
+            let mut detail: Vec<String> = Vec::new();
+            for a in &actions {
+                match *a {
+                    LoadAction::Shed { site, session } => {
+                        let set = &mut self.ctrl_withheld[site.0 as usize];
+                        if set.binary_search_by_key(&session, |e| e.0).is_ok() {
+                            continue; // already withheld: recorded no-op
+                        }
+                        let carried = sessions[site.0 as usize]
+                            .iter()
+                            .find(|(a2, _)| *a2 == session)
+                            .map_or(0.0, |(_, w)| *w);
+                        let pos = set.partition_point(|e| e.0 < session);
+                        set.insert(pos, (session, carried));
+                        shed_w += carried;
+                        shed_n += 1;
+                        detail.push(format!("shed {site}:{session}"));
+                    }
+                    LoadAction::Release { site, session } => {
+                        let set = &mut self.ctrl_withheld[site.0 as usize];
+                        if let Ok(pos) = set.binary_search_by_key(&session, |e| e.0) {
+                            rel_w += set[pos].1;
+                            rel_n += 1;
+                            set.remove(pos);
+                            detail.push(format!("release {site}:{session}"));
+                        }
+                    }
+                }
+            }
+            if shed_n == 0 && rel_n == 0 {
+                break; // every action was a no-op; nothing to recompute
+            }
+            self.load_ledger.shed_users += shed_w;
+            self.load_ledger.released_users += rel_w;
+            self.load_ledger.controller_rounds += 1;
+            let label = match (shed_n, rel_n) {
+                (s, 0) => format!("ctrl[{}] shed {s}", ctrl.name()),
+                (0, r) => format!("ctrl[{}] release {r}", ctrl.name()),
+                (s, r) => format!("ctrl[{}] shed {s} + release {r}", ctrl.name()),
+            };
+            let mut r = self.reassign(&label, false);
+            r.headroom_frac = self.current_headroom();
+            r.note = detail.join(" ");
+            records.push(r);
+        }
+        self.controller = Some(ctrl);
     }
 
     /// Mutates announcement and drain state for one batched epoch.
@@ -798,6 +1154,8 @@ impl<'g> DynamicsEngine<'g> {
         let mut promotes: Vec<u32> = Vec::new();
         let mut demotes: Vec<u32> = Vec::new();
         let mut gswaps: Vec<u32> = Vec::new();
+        let mut surges: Vec<(GeoPoint, f64, f64)> = Vec::new();
+        let mut ticks = 0usize;
         for ev in batch {
             match *ev {
                 RoutingEvent::SiteDown(s) => downs.push(check(s)),
@@ -817,6 +1175,15 @@ impl<'g> DynamicsEngine<'g> {
                 RoutingEvent::RingPromote { to } => promotes.push(check_swap(to)),
                 RoutingEvent::RingDemote { to } => demotes.push(check_swap(to)),
                 RoutingEvent::DeploymentSwap { to } => gswaps.push(check_swap(to)),
+                RoutingEvent::DemandScale { center, radius_km, factor } => {
+                    assert!(
+                        factor.is_finite() && factor > 0.0,
+                        "demand factor must be positive and finite, got {factor}"
+                    );
+                    assert!(radius_km >= 0.0, "demand radius must be non-negative");
+                    surges.push((center, radius_km, factor));
+                }
+                RoutingEvent::LoadTick => ticks += 1,
             }
         }
         for v in [&mut downs, &mut ups] {
@@ -855,6 +1222,38 @@ impl<'g> DynamicsEngine<'g> {
         for a in cancel_pairs(&mut pdowns, &mut pups) {
             out.labels.push(format!("peering-flap {a}"));
             out.notes.push(format!("peering down and up of {a} cancel (no-op)"));
+        }
+
+        // Demand changes first: they move no announcements (the
+        // routing precedence below is untouched), only cohort weights
+        // and query volumes. The per-user columns sync lazily through
+        // `demand_mult`, so a million-user surge writes O(cohorts)
+        // here and O(members) only when the columnar view is next
+        // materialized.
+        for &(center, radius_km, factor) in &surges {
+            let mut hit = 0u64;
+            let mut delta = 0.0;
+            for (ci, c) in self.cohorts.iter_mut().enumerate() {
+                if c.location.distance_km(&center) <= radius_km {
+                    delta += c.weight * (factor - 1.0);
+                    c.weight *= factor;
+                    c.queries_per_day *= factor;
+                    self.demand_mult[ci] *= factor;
+                    hit += 1;
+                }
+            }
+            // Full member-order resum, not `+= delta`: keeps the total
+            // bit-identical to a fresh engine built at the new demand.
+            self.total_weight = self.cohorts.iter().map(|c| c.weight).sum();
+            out.labels.push(format!("surge x{factor:.2}"));
+            out.notes.push(format!(
+                "demand x{factor:.3} within {radius_km:.0} km of ({:.1} {:.1}) hit {hit} cohorts ({delta:+.1} users)",
+                center.lat(),
+                center.lon(),
+            ));
+        }
+        if ticks > 0 {
+            out.labels.push("tick".to_string());
         }
 
         for &s in &downs {
@@ -1114,6 +1513,11 @@ impl<'g> DynamicsEngine<'g> {
 
         self.base = new_dep;
         self.current_swap = to;
+        // Controller withholds cannot coexist with swaps (a controller
+        // requires capacities, which exclude swap sets), so the table
+        // is all-empty here — just re-size it to the new site space.
+        debug_assert!(self.ctrl_withheld.iter().all(Vec::is_empty));
+        self.ctrl_withheld = vec![Vec::new(); self.base.sites.len()];
     }
 
     /// Advances `site`'s drain by one stage and returns the follow-up
@@ -1187,6 +1591,24 @@ impl<'g> DynamicsEngine<'g> {
         neigh
     }
 
+    /// Sessions currently withheld at `site`: the drain withhold set
+    /// and the controller withhold set merged (sorted, deduplicated).
+    /// Both the effective deployment and the group-snapshot drain
+    /// footprint go through this, so a controller withhold is as
+    /// visible to the group-diff soundness argument as a drain stage.
+    fn withheld_sessions(&self, site: SiteId) -> Vec<Asn> {
+        let mut w: Vec<Asn> = self
+            .drains
+            .iter()
+            .find(|d| d.site == site)
+            .map(|d| d.withheld.clone())
+            .unwrap_or_default();
+        for &(a, _) in &self.ctrl_withheld[site.0 as usize] {
+            insert_sorted(&mut w, a);
+        }
+        w
+    }
+
     /// Original ids of the sites currently announced (alive and host
     /// not withdrawn) — the survivors a drain's load check protects.
     fn announced_sites(&self) -> Vec<SiteId> {
@@ -1233,17 +1655,16 @@ impl<'g> DynamicsEngine<'g> {
         let mut dep = AnycastDeployment::new(self.base.name.clone(), sites, withhold);
         dep.origin_as = self.base.origin_as;
         dep.direct_hosts = self.base.direct_hosts.clone();
-        // Active partial drains, translated to dense ids (`orig` is
-        // ascending, so binary search works). Holding drains have no
-        // withheld set — their site is simply absent.
-        for d in &self.drains {
-            if d.withheld.is_empty() {
+        // Active withhold sets — partial drains merged with controller
+        // sheds — translated to dense ids (`orig` is ascending).
+        // Holding drains have no withheld set: their site is simply
+        // absent.
+        for (dense, &s) in orig.iter().enumerate() {
+            let withheld = self.withheld_sessions(s);
+            if withheld.is_empty() {
                 continue;
             }
-            if let Ok(dense) = orig.binary_search(&d.site) {
-                dep.site_drains
-                    .push(SiteDrain { site: SiteId(dense as u32), withheld: d.withheld.clone() });
-            }
+            dep.site_drains.push(SiteDrain { site: SiteId(dense as u32), withheld });
         }
         Some((Arc::new(dep), orig))
     }
@@ -1275,10 +1696,8 @@ impl<'g> DynamicsEngine<'g> {
                 let drains: Vec<(SiteId, Vec<Asn>)> = sites
                     .iter()
                     .filter_map(|s| {
-                        self.drains
-                            .iter()
-                            .find(|d| d.site == *s && !d.withheld.is_empty())
-                            .map(|d| (*s, d.withheld.clone()))
+                        let w = self.withheld_sessions(*s);
+                        (!w.is_empty()).then_some((*s, w))
                     })
                     .collect();
                 new_groups.insert((host, scope), GroupSnap { routes, sites, drains });
@@ -1894,25 +2313,30 @@ mod tests {
         );
     }
 
-    /// The shared `via_loads` accumulator must partition: summing the
-    /// per-site restrictions over every site recovers the global
-    /// transit loads exactly (same cohorts, same additions).
+    /// The public via-load accessors share one accumulator with the
+    /// drain plans and the controller observation; the partition
+    /// property itself is the doc test on
+    /// [`DynamicsEngine::global_via_loads`]. Here: the by-site batch
+    /// view matches the per-site accessor, lightest first.
     #[test]
-    fn via_loads_per_site_partitions_the_global_loads() {
+    fn via_loads_by_site_matches_the_public_accessors() {
         let (net, dep, users) = world(4);
         let e = engine(&net, &dep, &users, RecomputeMode::Incremental);
-        let global = e.via_loads(None);
-        assert!(!global.is_empty(), "somebody must enter through a neighbor");
-        let mut merged: DetHashMap<Asn, f64> = DetHashMap::default();
-        for i in 0..dep.sites.len() {
-            for (a, w) in e.via_loads(Some(SiteId(i as u32))) {
-                *merged.entry(a).or_default() += w;
+        assert!(!e.global_via_loads().is_empty(), "somebody must enter through a neighbor");
+        let by_site = e.via_loads_by_site();
+        assert_eq!(by_site.len(), dep.sites.len());
+        for (i, sessions) in by_site.iter().enumerate() {
+            let single = e.site_via_loads(SiteId(i as u32));
+            assert_eq!(sessions.len(), single.len());
+            for pair in sessions.windows(2) {
+                assert!(
+                    pair[0].1 <= pair[1].1,
+                    "sessions must be lightest first at site {i}"
+                );
             }
-        }
-        assert_eq!(merged.len(), global.len());
-        for (a, w) in &global {
-            let m = merged.get(a).copied().unwrap_or(f64::NAN);
-            assert!((m - w).abs() < 1e-9, "via {a}: merged {m} vs global {w}");
+            for &(a, w) in sessions {
+                assert_eq!(single.get(&a), Some(&w));
+            }
         }
     }
 
@@ -2029,4 +2453,175 @@ mod tests {
         assert_eq!(t.records[3].shifted, 0.0, "a stale stage moves nobody");
         assert_eq!(t.records.last().unwrap().median_ms, init_median);
     }
+
+    fn crowd(e: &DynamicsEngine<'_>, factor: f64) -> Scenario {
+        let hot = hottest_site(e);
+        let center = e.base.sites[hot.0 as usize].location;
+        Scenario::flash_crowd(
+            "crowd",
+            center,
+            6_000.0,
+            factor,
+            SimTime::from_secs(60.0),
+            300_000.0,
+            60_000.0,
+        )
+    }
+
+    /// A demand surge scales cohort weights lazily: the epoch touches
+    /// only cohorts, ticks recompute nobody, and the reciprocal scale
+    /// restores both the scalar totals and the materialized columns.
+    #[test]
+    fn demand_scale_is_lazy_and_the_reciprocal_restores_it() {
+        let (net, dep, users) = world(4);
+        let mut e = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let w0 = e.total_weight;
+        let cols_w0: f64 = e.columns().weight.iter().sum();
+        let s = crowd(&e, 2.0);
+        let t = e.run(&s);
+        for r in &t.records {
+            if r.event.starts_with("surge") {
+                assert_eq!(r.shifted, 0.0, "a demand scale moves nobody: {}", r.event);
+                assert!(r.note.contains("demand x"), "note: {}", r.note);
+            }
+            if r.event == "tick" {
+                assert_eq!(r.recomputed, 0, "a bare tick re-ranks nobody");
+                assert_eq!(r.shifted, 0.0);
+            }
+        }
+        assert!(t.records.iter().any(|r| r.event.starts_with("surge x2.00")));
+        assert!(t.records.iter().any(|r| r.event.starts_with("surge x0.50")));
+        assert!((e.total_weight - w0).abs() < 1e-6 * w0, "reciprocal restores total weight");
+        assert!(e.demand_mult.iter().all(|m| (m - 1.0).abs() < 1e-9 || *m != 1.0));
+        let cols_w1: f64 = e.columns().weight.iter().sum();
+        assert!((cols_w1 - cols_w0).abs() < 1e-6 * cols_w0, "columns fold the multipliers back");
+    }
+
+    /// The surge itself must grow demand while it holds.
+    #[test]
+    fn demand_scale_grows_weight_while_the_crowd_holds() {
+        let (net, dep, users) = world(4);
+        let mut e = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let w0 = e.total_weight;
+        let hot = hottest_site(&e);
+        let center = e.base.sites[hot.0 as usize].location;
+        let s = Scenario::new("half").at(
+            SimTime::from_secs(10.0),
+            RoutingEvent::DemandScale { center, radius_km: 6_000.0, factor: 2.0 },
+        );
+        e.run(&s);
+        assert!(e.total_weight > w0, "somebody inside the radius scaled up");
+        assert!(e.demand_mult.iter().any(|m| (*m - 2.0).abs() < 1e-12));
+    }
+
+    /// A `NullController` attached to a capacity-aware engine must
+    /// leave every timeline byte exactly as a controller-less run
+    /// produces it — the ledger accrues overload either way.
+    #[test]
+    fn null_controller_preserves_timeline_byte_identity() {
+        let (net, dep, users) = world(4);
+        let plain = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let caps = SiteCapacities::from_headroom(&plain.site_loads(), 1.15, 1.0);
+        let mut plain = plain.with_capacities(caps.clone());
+        let mut nulled = engine(&net, &dep, &users, RecomputeMode::Incremental)
+            .with_capacities(caps)
+            .with_controller(Box::new(loadmgmt::NullController));
+        let target = hottest_site(&plain);
+        let s = crowd(&plain, 2.0)
+            .at(SimTime::from_secs(130.0), RoutingEvent::SiteDown(target))
+            .at(SimTime::from_secs(250.0), RoutingEvent::SiteUp(target));
+        let tp = plain.run(&s);
+        let tn = nulled.run(&s);
+        assert_eq!(tp.rows(), tn.rows(), "a null controller must not perturb a single byte");
+        assert_eq!(plain.load_ledger().overload_site_ms, nulled.load_ledger().overload_site_ms);
+        assert_eq!(nulled.load_ledger().shed_users, 0.0);
+        assert_eq!(nulled.load_ledger().controller_rounds, 0);
+    }
+
+    /// The distributed controller must actually shed under a flash
+    /// crowd and strictly reduce accrued overload versus doing nothing.
+    #[test]
+    fn distributed_controller_sheds_and_reduces_overload() {
+        let (net, dep, users) = world(4);
+        let none = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        // A tight cap on the hottest site and slack everywhere else:
+        // the crowd overloads exactly one site while the rest of the
+        // deployment has genuine room for whatever a controller sheds.
+        let hot = hottest_site(&none);
+        let caps = SiteCapacities::from_per_site(
+            none.site_loads()
+                .iter()
+                .enumerate()
+                .map(|(i, l)| if i == hot.0 as usize { l * 1.1 } else { l * 10.0 })
+                .collect(),
+        );
+        let mut none = none.with_capacities(caps.clone());
+        let mut dist = engine(&net, &dep, &users, RecomputeMode::Incremental)
+            .with_capacities(caps)
+            .with_controller(Box::new(loadmgmt::DistributedController::default()));
+        let s = crowd(&none, 2.0);
+        none.run(&s);
+        let td = dist.run(&s);
+        let ln = none.load_ledger();
+        let ld = dist.load_ledger();
+        assert!(ln.overload_site_ms > 0.0, "the crowd must overload the baseline");
+        assert!(
+            ld.overload_site_ms < ln.overload_site_ms,
+            "controller {} must beat baseline {}",
+            ld.overload_site_ms,
+            ln.overload_site_ms
+        );
+        assert!(ld.shed_users > 0.0, "clearing overload requires shedding someone");
+        assert!(ld.released_users <= ld.shed_users + 1e-9, "ledger identity");
+        assert!(ld.controller_rounds >= 1);
+        assert!(
+            td.records.iter().any(|r| r.event.starts_with("ctrl[distributed]")),
+            "controller rounds appear as timeline rows"
+        );
+        // Controller rows are same-SimTime epochs after their trigger.
+        for w in td.records.windows(2) {
+            if w[1].event.starts_with("ctrl[") {
+                assert_eq!(w[0].t_ms, w[1].t_ms, "ctrl rounds share the trigger's timestamp");
+            }
+        }
+    }
+
+    /// Withholds emitted by a controller survive an unrelated routing
+    /// epoch: the shed sessions stay away until released, because the
+    /// withhold joins the drain footprint every recompute sees.
+    #[test]
+    fn controller_withholds_persist_across_routing_epochs() {
+        let (net, dep, users) = world(4);
+        let base = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let caps = SiteCapacities::from_headroom(&base.site_loads(), 1.15, 1.0);
+        let mut e = base
+            .with_capacities(caps)
+            .with_controller(Box::new(loadmgmt::ThresholdController));
+        let hot = hottest_site(&e);
+        let center = e.base.sites[hot.0 as usize].location;
+        let cold = SiteId((0..e.base.sites.len() as u32).find(|i| SiteId(*i) != hot).unwrap());
+        let s = Scenario::new("persist")
+            .at(
+                SimTime::from_secs(10.0),
+                RoutingEvent::DemandScale { center, radius_km: 6_000.0, factor: 2.0 },
+            )
+            .at(SimTime::from_secs(60.0), RoutingEvent::SiteDown(cold))
+            .at(SimTime::from_secs(120.0), RoutingEvent::SiteUp(cold))
+            .ticks(SimTime::from_secs(180.0), 60_000.0, 1);
+        e.run(&s);
+        let ledger = e.load_ledger().clone();
+        assert!(ledger.shed_users > 0.0, "the surge must trip the threshold");
+        // Withheld neighbors cannot appear in their shed site's
+        // via-load map while the withhold stands.
+        for (site, withheld) in e.ctrl_withheld.iter().enumerate() {
+            if withheld.is_empty() {
+                continue;
+            }
+            let vias = e.site_via_loads(SiteId(site as u32));
+            for (asn, _) in withheld {
+                assert!(!vias.contains_key(asn), "withheld {asn:?} still lands on site {site}");
+            }
+        }
+    }
+
 }

@@ -9,6 +9,7 @@
 //! timeline replays identically on every run — the engine's whole
 //! output hangs off this ordering.
 
+use geo::GeoPoint;
 use netsim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -99,6 +100,26 @@ pub enum RoutingEvent {
         /// Index of the target deployment in the engine's swap set.
         to: u32,
     },
+    /// Demand within `radius_km` of `center` scales by `factor`: every
+    /// user cohort there multiplies its weight and query volume — the
+    /// flash-crowd / regional-surge primitive. A demand change moves
+    /// no announcements, so assignments are untouched; only loads (and
+    /// any attached load controller's view of them) change. Restore
+    /// with a second event carrying the reciprocal factor.
+    DemandScale {
+        /// Center of the demand change.
+        center: GeoPoint,
+        /// Radius of the affected region, km.
+        radius_km: f64,
+        /// Multiplier applied to cohort weight and queries per day
+        /// (must be positive and finite).
+        factor: f64,
+    },
+    /// A scheduled no-op observation point: the epoch applies nothing,
+    /// but an attached load controller still runs its decision rounds
+    /// — how scenarios give a controller a cadence between routing
+    /// events (and how oscillating policies are caught oscillating).
+    LoadTick,
 }
 
 impl RoutingEvent {
@@ -117,6 +138,8 @@ impl RoutingEvent {
             RoutingEvent::RingPromote { to } => format!("promote ring-{to}"),
             RoutingEvent::RingDemote { to } => format!("demote ring-{to}"),
             RoutingEvent::DeploymentSwap { to } => format!("swap ring-{to}"),
+            RoutingEvent::DemandScale { factor, .. } => format!("surge x{factor:.2}"),
+            RoutingEvent::LoadTick => "tick".to_string(),
         }
     }
 }
@@ -270,6 +293,16 @@ mod tests {
         assert_eq!(RoutingEvent::RingPromote { to: 3 }.label(), "promote ring-3");
         assert_eq!(RoutingEvent::RingDemote { to: 2 }.label(), "demote ring-2");
         assert_eq!(RoutingEvent::DeploymentSwap { to: 0 }.label(), "swap ring-0");
+        assert_eq!(
+            RoutingEvent::DemandScale {
+                center: GeoPoint::new(0.0, 0.0),
+                radius_km: 500.0,
+                factor: 1.75
+            }
+            .label(),
+            "surge x1.75"
+        );
+        assert_eq!(RoutingEvent::LoadTick.label(), "tick");
     }
 
     #[test]

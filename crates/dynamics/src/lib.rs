@@ -29,6 +29,16 @@
 //!   a survivor aborts the drain and rolls the catchment back
 //!   byte-identically instead of committing.
 //!
+//! On top of both sits *closed-loop load management*: attach a
+//! `loadmgmt` controller ([`DynamicsEngine::with_controller`]) and
+//! each epoch ends with up to `max_rounds` observe → decide → apply
+//! rounds at the same `SimTime` — per-neighbor session sheds and
+//! releases recorded as `ctrl[…]` timeline rows and ledgered under
+//! `dynamics.load.*` (see [`LoadLedger`]). Demand-side events
+//! ([`RoutingEvent::DemandScale`], [`RoutingEvent::LoadTick`]) script
+//! the flash crowds and controller cadences the `dynload` experiment
+//! family compares policies on.
+//!
 //! Everything is deterministic: the event queue breaks time ties by
 //! insertion order, jitter derives from `par`'s per-index seed streams,
 //! and re-ranking fans out on `par::ordered_map` — so a scenario's
@@ -43,7 +53,7 @@ pub mod scenario;
 pub mod timeline;
 
 pub use columnar::{expand_counts, Cohort, GroupIndex, UserColumns, NO_ASN, NO_KEY, NO_SITE};
-pub use engine::{DynUser, DynamicsEngine, RecomputeMode, SwapDeployment};
+pub use engine::{DynUser, DynamicsEngine, LoadLedger, RecomputeMode, SwapDeployment};
 pub use event::{EventQueue, RoutingEvent, ScheduledEvent};
 pub use scenario::{jitter_frac, Scenario};
 pub use timeline::{weighted_median, EpochRecord, Timeline};

@@ -188,6 +188,50 @@ impl Scenario {
             .at(start.plus_ms(hold_ms), RoutingEvent::RingDemote { to: down })
     }
 
+    /// A flash crowd: demand within `radius_km` of `center` scales by
+    /// `factor` at `start`, holds for `hold_ms` with controller ticks
+    /// every `tick_ms`, then subsides (a second scale by `1/factor`),
+    /// followed by one trailing tick so the recovery is observed. The
+    /// ticks are the cadence an attached load controller acts on
+    /// between routing events; without a controller they are recorded
+    /// no-op epochs.
+    pub fn flash_crowd(
+        name: impl Into<String>,
+        center: GeoPoint,
+        radius_km: f64,
+        factor: f64,
+        start: SimTime,
+        hold_ms: f64,
+        tick_ms: f64,
+    ) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "demand factor must be positive");
+        assert!(tick_ms > 0.0, "tick spacing must be positive");
+        assert!(hold_ms > tick_ms, "the hold must outlast one tick");
+        let mut s =
+            Self::new(name).at(start, RoutingEvent::DemandScale { center, radius_km, factor });
+        let mut k = 1;
+        while (k as f64) * tick_ms < hold_ms {
+            s = s.at(start.plus_ms(k as f64 * tick_ms), RoutingEvent::LoadTick);
+            k += 1;
+        }
+        s = s.at(
+            start.plus_ms(hold_ms),
+            RoutingEvent::DemandScale { center, radius_km, factor: 1.0 / factor },
+        );
+        s.at(start.plus_ms(hold_ms + tick_ms), RoutingEvent::LoadTick)
+    }
+
+    /// Appends `n` controller ticks every `every_ms` from `from`
+    /// (builder style) — scheduled observation points for an attached
+    /// load controller, recorded no-ops otherwise.
+    pub fn ticks(mut self, from: SimTime, every_ms: f64, n: usize) -> Self {
+        assert!(every_ms > 0.0, "tick spacing must be positive");
+        for k in 0..n {
+            self = self.at(from.plus_ms(k as f64 * every_ms), RoutingEvent::LoadTick);
+        }
+        self
+    }
+
     /// The latest scripted event time (drain ends scheduled at run time
     /// may extend past this).
     pub fn horizon(&self) -> SimTime {
@@ -279,6 +323,42 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn ring_swap_zero_hold_panics() {
         Scenario::ring_swap("bad", 3, 2, SimTime::ZERO, 0.0);
+    }
+
+    #[test]
+    fn flash_crowd_surges_ticks_and_subsides() {
+        let c = GeoPoint::new(10.0, 20.0);
+        let s = Scenario::flash_crowd(
+            "fc",
+            c,
+            3000.0,
+            2.0,
+            SimTime::from_secs(60.0),
+            300_000.0,
+            60_000.0,
+        );
+        // Surge, 4 hold ticks (60..300 s exclusive), subside, 1 trailing tick.
+        assert_eq!(s.events.len(), 7);
+        assert!(matches!(
+            s.events[0].event,
+            RoutingEvent::DemandScale { factor, .. } if factor == 2.0
+        ));
+        assert!(matches!(s.events[1].event, RoutingEvent::LoadTick));
+        assert!(matches!(
+            s.events[5].event,
+            RoutingEvent::DemandScale { factor, .. } if factor == 0.5
+        ));
+        assert_eq!(s.events[5].at.as_secs(), 360.0);
+        assert!(matches!(s.events[6].event, RoutingEvent::LoadTick));
+        assert_eq!(s.horizon().as_secs(), 420.0);
+    }
+
+    #[test]
+    fn ticks_append_a_regular_cadence() {
+        let s = Scenario::new("t").ticks(SimTime::from_secs(10.0), 5_000.0, 3);
+        assert_eq!(s.events.len(), 3);
+        assert!(s.events.iter().all(|e| matches!(e.event, RoutingEvent::LoadTick)));
+        assert_eq!(s.events[2].at.as_secs(), 20.0);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Property tests for closed-loop load management.
+//!
+//! Two contracts guard the `loadmgmt` integration:
+//!
+//! * **Hysteresis never flip-flops** — once the hysteresis controller
+//!   releases a `(site, neighbor)` withhold it must never re-shed that
+//!   pair within the same run, whatever the crowd shape or watermark.
+//! * **A null controller is a no-op** — attaching `NullController` to
+//!   a capacity-aware engine must reproduce the controller-less
+//!   timeline byte-for-byte across every scenario family the `dyn*`
+//!   experiments script.
+
+use anycast_dynamics::{DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario};
+use analysis::SiteCapacities;
+use loadmgmt::{
+    HysteresisController, LoadAction, LoadController, LoadObservation, NullController,
+};
+use netsim::{LatencyModel, SimTime};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, OnceLock};
+use topology::gen::Internet;
+use topology::{
+    AnycastDeployment, AnycastSite, InternetGenerator, SiteId, SiteScope, TopologyConfig,
+};
+
+/// One shared world: building the topology dominates a proptest case,
+/// so all cases replay scenarios over the same (immutable) internet.
+fn world() -> &'static (Internet, Arc<AnycastDeployment>, Vec<DynUser>) {
+    static WORLD: OnceLock<(Internet, Arc<AnycastDeployment>, Vec<DynUser>)> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let mut net = InternetGenerator::generate(&TopologyConfig::small(111));
+        let hosts = net.sample_hosters(4);
+        let sites: Vec<AnycastSite> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| AnycastSite {
+                id: SiteId(i as u32),
+                name: format!("s{i}"),
+                host: *h,
+                location: net.graph.node(*h).pops[0],
+                scope: SiteScope::Global,
+            })
+            .collect();
+        let dep = AnycastDeployment::new("load-props", sites, vec![]);
+        let users: Vec<DynUser> = net
+            .user_locations()
+            .iter()
+            .map(|l| DynUser {
+                asn: l.asn,
+                location: net.world.region(l.region).center,
+                weight: 1.0,
+                queries_per_day: 1_000.0,
+            })
+            .collect();
+        (net, Arc::new(dep), users)
+    })
+}
+
+fn engine(mode: RecomputeMode) -> DynamicsEngine<'static> {
+    let (net, dep, users) = world();
+    DynamicsEngine::new(
+        &net.graph,
+        Arc::clone(dep),
+        LatencyModel::default(),
+        users.clone(),
+        mode,
+    )
+}
+
+/// Delegates every decision to an inner hysteresis controller while
+/// journaling the actions it emits, so a test can audit the shed /
+/// release sequence per `(site, neighbor)` pair after the run.
+#[derive(Debug)]
+struct Recording {
+    inner: HysteresisController,
+    log: Arc<Mutex<Vec<LoadAction>>>,
+}
+
+impl LoadController for Recording {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn max_rounds(&self) -> u32 {
+        self.inner.max_rounds()
+    }
+
+    fn decide(&mut self, obs: &LoadObservation<'_>) -> Vec<LoadAction> {
+        let acts = self.inner.decide(obs);
+        self.log.lock().unwrap().extend(acts.iter().copied());
+        acts
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Whatever the crowd and watermark shape, once hysteresis
+    /// releases a withheld `(site, neighbor)` pair it never sheds that
+    /// pair again in the same run — the release pin holds.
+    #[test]
+    fn hysteresis_never_flip_flops_a_withhold(
+        factor in 1.3f64..4.0,
+        radius_km in 2_000.0f64..9_000.0,
+        cap_factor in 1.05f64..1.6,
+        low_frac in 0.4f64..0.95,
+        hold_ticks in 2u32..8,
+        site_sel in 0u32..4,
+    ) {
+        let base = engine(RecomputeMode::Incremental);
+        let caps = SiteCapacities::from_headroom(&base.site_loads(), cap_factor, 1.0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut e = base.with_capacities(caps).with_controller(Box::new(Recording {
+            inner: HysteresisController::new(low_frac),
+            log: Arc::clone(&log),
+        }));
+        let center = e.deployment().sites[site_sel as usize].location;
+        let tick_ms = 60_000.0;
+        let s = Scenario::flash_crowd(
+            "prop-crowd",
+            center,
+            radius_km,
+            factor,
+            SimTime::from_secs(60.0),
+            hold_ticks as f64 * tick_ms,
+            tick_ms,
+        );
+        e.run(&s);
+        let log = log.lock().unwrap();
+        let mut released: Vec<(SiteId, topology::Asn)> = Vec::new();
+        for act in log.iter() {
+            match *act {
+                LoadAction::Release { site, session } => released.push((site, session)),
+                LoadAction::Shed { site, session } => {
+                    prop_assert!(
+                        !released.contains(&(site, session)),
+                        "pair ({site:?}, {session:?}) shed again after release: {log:?}"
+                    );
+                }
+            }
+        }
+        // Ledger identity holds for every parameterization.
+        let ledger = e.load_ledger();
+        prop_assert!(ledger.released_users <= ledger.shed_users + 1e-9);
+    }
+}
+
+/// Every scenario family the `dyn*` experiments script, replayed with
+/// a `NullController` attached, reproduces the controller-less
+/// timeline byte-for-byte (same rows, same ledger accrual).
+#[test]
+fn null_controller_reproduces_every_scenario_family() {
+    let (net, dep, _) = world();
+    let probe = engine(RecomputeMode::Incremental);
+    let caps = SiteCapacities::from_headroom(&probe.site_loads(), 1.1, 1.0);
+    let hot = SiteId(0);
+    let neighbor = net.graph.node(dep.sites[1].host).asn;
+    let center = dep.sites[0].location;
+    let scenarios: Vec<Scenario> = vec![
+        Scenario::site_flap("flap", hot, SimTime::from_secs(60.0), 600_000.0, 3, 30_000.0, 7),
+        Scenario::gradual_drain("drain", hot, SimTime::from_secs(10.0), 30_000.0, 4, 120_000.0),
+        Scenario::regional_outage(
+            "regional",
+            &dep,
+            &center,
+            4_000.0,
+            SimTime::from_secs(30.0),
+            240_000.0,
+            15_000.0,
+            7,
+        )
+        .0,
+        Scenario::peering_flap("peer", neighbor, SimTime::from_secs(20.0), 90_000.0),
+        Scenario::flash_crowd(
+            "crowd",
+            center,
+            5_000.0,
+            2.0,
+            SimTime::from_secs(60.0),
+            240_000.0,
+            60_000.0,
+        )
+        .at(SimTime::from_secs(150.0), RoutingEvent::SiteDown(hot))
+        .at(SimTime::from_secs(210.0), RoutingEvent::SiteUp(hot)),
+    ];
+    for s in &scenarios {
+        let mut plain = engine(RecomputeMode::Incremental).with_capacities(caps.clone());
+        let mut nulled = engine(RecomputeMode::Incremental)
+            .with_capacities(caps.clone())
+            .with_controller(Box::new(NullController));
+        let tp = plain.run(s);
+        let tn = nulled.run(s);
+        assert_eq!(tp.rows(), tn.rows(), "scenario {} diverged under NullController", s.name);
+        assert_eq!(
+            plain.load_ledger().overload_site_ms,
+            nulled.load_ledger().overload_site_ms,
+            "scenario {}: overload accrual must not depend on the controller",
+            s.name
+        );
+        assert_eq!(nulled.load_ledger().shed_users, 0.0);
+        assert_eq!(nulled.load_ledger().controller_rounds, 0);
+    }
+}

@@ -44,6 +44,7 @@
 //! | [`workload`] | user populations, DITL campaign, Atlas panel, geolocation |
 //! | [`analysis`] | Eq. 1–3, amortization, joins, path-length pipeline |
 //! | [`dynamics`] | discrete-event routing dynamics, incremental catchment recompute |
+//! | [`loadmgmt`] | closed-loop load-management controllers (threshold, hysteresis, distributed) |
 //! | [`core`] | world builder, experiment registry, renderers |
 
 pub use anycast_core::{experiments, Artifact, World, WorldConfig};
@@ -56,6 +57,7 @@ pub use cdn;
 pub use dns;
 pub use dynamics;
 pub use geo;
+pub use loadmgmt;
 pub use netsim;
 pub use topology;
 pub use workload;
