@@ -74,9 +74,29 @@ fn main() {
             }
             "--verbose" | "-v" => obs::set_verbose(true),
             "--list" => {
+                // Group the catalogue by experiment family, preserving
+                // registry order within each group.
+                let family = |id: &str| {
+                    if id.starts_with("dyn") {
+                        "dynamics & replay"
+                    } else if id.starts_with("ext") {
+                        "extensions"
+                    } else {
+                        "core paper artifacts"
+                    }
+                };
                 let width = 2 + DESCRIPTIONS.iter().map(|(id, _)| id.len()).max().unwrap_or(0);
+                let mut current = "";
                 for (id, desc) in DESCRIPTIONS {
-                    println!("{id:<width$}{desc}");
+                    let f = family(id);
+                    if f != current {
+                        if !current.is_empty() {
+                            println!();
+                        }
+                        println!("{f}:");
+                        current = f;
+                    }
+                    println!("  {id:<width$}{desc}");
                 }
                 return;
             }

@@ -219,6 +219,42 @@ pub fn letter_weights(rtts: &[(Letter, f64)], exploration: f64) -> Vec<(Letter, 
         .collect()
 }
 
+/// Long-run *root-visible* query rate of a user whose `queries_per_day`
+/// DNS demand arrives through a caching recursive, in queries per day:
+/// the closed form of the TTL amortization the event-level
+/// [`RecursiveResolver`] exhibits, used by the streaming replay
+/// generator (`anycast-replay`) the same way [`letter_weights`] is used
+/// by the rate-level DITL generator.
+///
+/// `uncacheable_share` of the demand (Chromium-style random-label
+/// probes; see `workload`'s DITL mix) can never hit the positive cache
+/// and always reaches a root. The cacheable remainder amortizes over
+/// the 2-day TLD delegation TTL ([`TLD_TTL_MS`]) and pays only the
+/// long-run miss rate `cacheable_miss_rate` (the paper observes
+/// ≈0.5–1.5% at the roots it measures; the resolver model reproduces
+/// that band).
+///
+/// # Panics
+///
+/// Panics when either share is outside `[0, 1]` or the demand is
+/// negative.
+pub fn amortized_root_rate(
+    queries_per_day: f64,
+    uncacheable_share: f64,
+    cacheable_miss_rate: f64,
+) -> f64 {
+    assert!(queries_per_day >= 0.0, "negative query demand {queries_per_day}");
+    assert!(
+        (0.0..=1.0).contains(&uncacheable_share),
+        "uncacheable share must be a fraction, got {uncacheable_share}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cacheable_miss_rate),
+        "miss rate must be a fraction, got {cacheable_miss_rate}"
+    );
+    queries_per_day * (uncacheable_share + (1.0 - uncacheable_share) * cacheable_miss_rate)
+}
+
 #[derive(Debug, Clone, Copy)]
 struct CacheEntry {
     expires: SimTime,

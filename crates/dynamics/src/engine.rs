@@ -368,6 +368,152 @@ impl LoadLedger {
     }
 }
 
+/// One cohort's current serving state, summarized for streaming
+/// consumers (the `anycast-replay` driver): the member id range plus
+/// the site and latency every member shares. O(cohorts) to snapshot,
+/// however large the expanded population — the same cost contract as
+/// the epoch loop itself.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingCohort {
+    /// First member's user id.
+    pub start: u32,
+    /// One past the last member's user id.
+    pub end: u32,
+    /// Serving site (original deployment id), or `None` while unserved.
+    pub site: Option<SiteId>,
+    /// Anycast RTT every member currently pays, ms (0 while unserved).
+    pub latency_ms: f64,
+}
+
+/// A resumable run of one scenario: the exact epoch loop of
+/// [`DynamicsEngine::run`], surrendered one epoch at a time so a
+/// streaming consumer can interleave its own work — serving replayed
+/// queries, say — between epochs while the engine's clock, overload
+/// accrual, and controller rounds behave byte-identically to a plain
+/// run.
+///
+/// Usage: [`EpochStepper::new`], then [`EpochStepper::step`] until it
+/// returns `false` (peeking [`EpochStepper::next_time`] to schedule
+/// work before each epoch applies), then [`EpochStepper::finish`] for
+/// the [`Timeline`]. `run` itself is implemented as a stepper driven
+/// with no between-epoch work, which is what pins the equivalence.
+#[derive(Debug)]
+pub struct EpochStepper {
+    queue: EventQueue,
+    timeline: Timeline,
+    processed: u64,
+}
+
+impl EpochStepper {
+    /// Starts a stepped run of `scenario` over `eng`. The timeline
+    /// opens with the engine's `"init"` record, exactly as
+    /// [`DynamicsEngine::run`] does.
+    pub fn new(eng: &DynamicsEngine<'_>, scenario: &Scenario) -> Self {
+        let mut timeline = Timeline::new(scenario.name.clone());
+        timeline.records.push(eng.init_record().clone());
+        Self {
+            queue: EventQueue::from_events(scenario.events.iter().copied()),
+            timeline,
+            processed: 0,
+        }
+    }
+
+    /// When the next epoch will fire, or `None` when the scenario (and
+    /// every engine-scheduled follow-up) is exhausted. Between-epoch
+    /// work scheduled strictly before this instant observes the state
+    /// the epoch is about to change.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.queue.next_time()
+    }
+
+    /// Applies the next epoch — every pending event at the next
+    /// instant, as one batch — and appends its records to the
+    /// timeline. Returns `false` (doing nothing) once the queue is
+    /// exhausted.
+    pub fn step(&mut self, eng: &mut DynamicsEngine<'_>) -> bool {
+        let Some(first) = self.queue.pop() else { return false };
+        // One epoch = every pending event at this exact instant.
+        let mut batch = vec![first.event];
+        while self
+            .queue
+            .next_time()
+            .is_some_and(|t| t.as_ms().total_cmp(&first.at.as_ms()).is_eq())
+        {
+            batch.push(self.queue.pop().expect("peeked").event);
+        }
+        // Loads were constant since the last epoch closed: accrue
+        // overloaded-site time for the interval ending now.
+        if eng.capacities.is_some() {
+            let dt = first.at.as_ms() - eng.clock.now().as_ms();
+            if dt > 0.0 {
+                let (over, excess) = eng.overload_snapshot();
+                if over > 0 {
+                    eng.load_ledger.overload_site_ms += dt * over as f64;
+                    eng.load_ledger.overload_user_ms += dt * excess;
+                }
+            }
+        }
+        eng.clock.advance_to(first.at);
+        obs::counter_add("dynamics.events_processed", batch.len() as u64);
+        self.processed += batch.len() as u64;
+        self.timeline.records.extend(eng.epoch(&batch, &mut self.queue));
+        obs::counter_add("dynamics.epochs", 1);
+        true
+    }
+
+    /// Events applied so far (the scenario's plus engine-scheduled
+    /// follow-ups).
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Timeline records accumulated so far — the `"init"` record plus
+    /// one or more per stepped epoch.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.timeline.records
+    }
+
+    /// Closes the run's ledgers (staged-drain and `dynamics.load.*`
+    /// counters, exactly as [`DynamicsEngine::run`] emits them) and
+    /// returns the timeline.
+    pub fn finish(self, eng: &mut DynamicsEngine<'_>) -> Timeline {
+        // Close the drain ledger: whatever is still draining when the
+        // script runs out stays staged, so
+        // `started = staged + aborted + completed` always balances.
+        if !eng.drains.is_empty() {
+            obs::counter_add("dynamics.drain.staged", eng.drains.len() as u64);
+        }
+        // Close the load ledger. Overload left standing after the last
+        // event accrues nothing (there is no later instant to measure
+        // to), which is why controller scenarios end with a restore
+        // plus a trailing tick. Emitted only when a controller is
+        // attached, so controller-less runs leave metrics untouched.
+        if eng.controller.is_some() {
+            obs::counter_add(
+                "dynamics.load.shed_users",
+                eng.load_ledger.shed_users.round() as u64,
+            );
+            obs::counter_add(
+                "dynamics.load.released_users",
+                eng.load_ledger.released_users.round() as u64,
+            );
+            obs::counter_add(
+                "dynamics.load.overload_ms",
+                eng.load_ledger.overload_site_ms.round() as u64,
+            );
+            obs::counter_add(
+                "dynamics.load.overload_user_ms",
+                eng.load_ledger.overload_user_ms.round() as u64,
+            );
+            obs::counter_add(
+                "dynamics.load.controller_rounds",
+                eng.load_ledger.controller_rounds,
+            );
+        }
+        self.timeline
+    }
+}
+
 impl<'g> DynamicsEngine<'g> {
     /// Builds an engine over the weighted sources as-is — one user row
     /// per source, weights and query volumes copied verbatim — and
@@ -679,6 +825,24 @@ impl<'g> DynamicsEngine<'g> {
         out
     }
 
+    /// The current serving state of every expansion cohort — member id
+    /// range plus the shared site and RTT — as one owned vector.
+    /// O(cohorts) regardless of the expanded population, and borrow-free,
+    /// so streaming consumers can snapshot it before taking the
+    /// [`DynamicsEngine::columns`] borrow for per-user demand.
+    pub fn serving_cohorts(&self) -> Vec<ServingCohort> {
+        self.cohorts
+            .iter()
+            .zip(&self.states)
+            .map(|(c, st)| ServingCohort {
+                start: c.range().start as u32,
+                end: c.range().end as u32,
+                site: st.site,
+                latency_ms: st.latency_ms,
+            })
+            .collect()
+    }
+
     /// Expanded population size (number of per-user rows).
     pub fn population(&self) -> usize {
         self.cols.len()
@@ -870,72 +1034,16 @@ impl<'g> DynamicsEngine<'g> {
     /// series, led by the `"init"` epoch. Every event sharing one
     /// `SimTime` lands in the same epoch: one batched apply, one
     /// incremental recompute, one record.
+    ///
+    /// Equivalent to driving an [`EpochStepper`] to exhaustion with no
+    /// work between epochs — which is exactly how it is implemented, so
+    /// a stepped run with an idle consumer is byte-identical to this.
     pub fn run(&mut self, scenario: &Scenario) -> Timeline {
         let span = obs::span!("dynamics.scenario", name = scenario.name.as_str());
-        let mut timeline = Timeline::new(scenario.name.clone());
-        timeline.records.push(self.init_record().clone());
-        let mut queue = EventQueue::from_events(scenario.events.iter().copied());
-        let mut processed = 0u64;
-        while let Some(first) = queue.pop() {
-            // One epoch = every pending event at this exact instant.
-            let mut batch = vec![first.event];
-            while queue
-                .next_time()
-                .is_some_and(|t| t.as_ms().total_cmp(&first.at.as_ms()).is_eq())
-            {
-                batch.push(queue.pop().expect("peeked").event);
-            }
-            // Loads were constant since the last epoch closed: accrue
-            // overloaded-site time for the interval ending now.
-            if self.capacities.is_some() {
-                let dt = first.at.as_ms() - self.clock.now().as_ms();
-                if dt > 0.0 {
-                    let (over, excess) = self.overload_snapshot();
-                    if over > 0 {
-                        self.load_ledger.overload_site_ms += dt * over as f64;
-                        self.load_ledger.overload_user_ms += dt * excess;
-                    }
-                }
-            }
-            self.clock.advance_to(first.at);
-            obs::counter_add("dynamics.events_processed", batch.len() as u64);
-            processed += batch.len() as u64;
-            timeline.records.extend(self.epoch(&batch, &mut queue));
-            obs::counter_add("dynamics.epochs", 1);
-        }
-        // Close the drain ledger: whatever is still draining when the
-        // script runs out stays staged, so
-        // `started = staged + aborted + completed` always balances.
-        if !self.drains.is_empty() {
-            obs::counter_add("dynamics.drain.staged", self.drains.len() as u64);
-        }
-        // Close the load ledger. Overload left standing after the last
-        // event accrues nothing (there is no later instant to measure
-        // to), which is why controller scenarios end with a restore
-        // plus a trailing tick. Emitted only when a controller is
-        // attached, so controller-less runs leave metrics untouched.
-        if self.controller.is_some() {
-            obs::counter_add(
-                "dynamics.load.shed_users",
-                self.load_ledger.shed_users.round() as u64,
-            );
-            obs::counter_add(
-                "dynamics.load.released_users",
-                self.load_ledger.released_users.round() as u64,
-            );
-            obs::counter_add(
-                "dynamics.load.overload_ms",
-                self.load_ledger.overload_site_ms.round() as u64,
-            );
-            obs::counter_add(
-                "dynamics.load.overload_user_ms",
-                self.load_ledger.overload_user_ms.round() as u64,
-            );
-            obs::counter_add(
-                "dynamics.load.controller_rounds",
-                self.load_ledger.controller_rounds,
-            );
-        }
+        let mut stepper = EpochStepper::new(self, scenario);
+        while stepper.step(self) {}
+        let processed = stepper.events_processed();
+        let timeline = stepper.finish(self);
         span.add_items(processed);
         timeline
     }

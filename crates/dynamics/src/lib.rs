@@ -53,7 +53,10 @@ pub mod scenario;
 pub mod timeline;
 
 pub use columnar::{expand_counts, Cohort, GroupIndex, UserColumns, NO_ASN, NO_KEY, NO_SITE};
-pub use engine::{DynUser, DynamicsEngine, LoadLedger, RecomputeMode, SwapDeployment};
+pub use engine::{
+    DynUser, DynamicsEngine, EpochStepper, LoadLedger, RecomputeMode, ServingCohort,
+    SwapDeployment,
+};
 pub use event::{EventQueue, RoutingEvent, ScheduledEvent};
 pub use scenario::{jitter_frac, Scenario};
 pub use timeline::{weighted_median, EpochRecord, Timeline};

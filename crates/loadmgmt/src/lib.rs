@@ -32,6 +32,16 @@
 //! [`LoadObservation`]; the engine owns application, recompute, and the
 //! `dynamics.load.*` ledger. All iteration is over index-ordered
 //! slices, so decisions are deterministic at any thread count.
+//!
+//! Under the live traffic-replay mode (the `anycast-replay` crate) the
+//! same contract carries over unchanged: the replay driver steps the
+//! engine's epochs — including every `LoadTick` controller round —
+//! between serving windows, and the per-site load a controller
+//! observes is derived from the same cohort demand columns the query
+//! generator draws its per-window counts from. One source of truth,
+//! two consumers: the controller sheds the load the replayed queries
+//! are about to pay RTT for, so a round's effect shows up in the very
+//! next window's served percentiles and `overload_user_ms` delta.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

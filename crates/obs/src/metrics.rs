@@ -43,12 +43,24 @@ impl Default for Histogram {
 impl Histogram {
     /// Records one observation.
     pub fn record(&mut self, v: f64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical observations of `v` in one bucket update —
+    /// the batched form streaming consumers use when one value stands
+    /// for a whole batch (e.g. every query of a cohort paying the same
+    /// RTT). Equivalent to calling [`Histogram::record`] `n` times; a
+    /// zero count leaves the histogram untouched (including extrema).
+    pub fn record_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let idx = BUCKET_BOUNDS
             .iter()
             .position(|b| v <= *b)
             .unwrap_or(BUCKET_BOUNDS.len());
-        self.counts[idx] += 1;
-        self.total += 1;
+        self.counts[idx] += n;
+        self.total += n;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -161,6 +173,21 @@ mod tests {
             assert_eq!(h.max(), one.max());
             assert_eq!(h.nonzero_buckets(), one.nonzero_buckets());
         }
+    }
+
+    #[test]
+    fn record_n_equals_n_records_and_zero_is_a_noop() {
+        let mut batched = Histogram::default();
+        batched.record_n(3.0, 4);
+        batched.record_n(700.0, 0);
+        let mut looped = Histogram::default();
+        for _ in 0..4 {
+            looped.record(3.0);
+        }
+        assert_eq!(batched.count(), looped.count());
+        assert_eq!(batched.min(), looped.min());
+        assert_eq!(batched.max(), looped.max(), "a zero count must not move extrema");
+        assert_eq!(batched.nonzero_buckets(), looped.nonzero_buckets());
     }
 
     #[test]

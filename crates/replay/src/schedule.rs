@@ -1,0 +1,245 @@
+//! Streaming query-schedule generation: stateless, seed-pure per-user
+//! query counts for each replay window.
+//!
+//! A schedule never materializes a query list. For window `w` and user
+//! `u` it computes `expected = qpd[u] · factor[u] · window/day` and
+//! stochastically rounds it with one `par::seed_for(seed, w·N + u)`
+//! draw — `floor(expected + u01)` — so the count is a pure function of
+//! `(seed, window, user, current qpd)`. Demand surges fold in for free:
+//! `qpd` is read from the engine's live columns each window, so a
+//! `DemandScale` event doubles next window's draw without any schedule
+//! state. That statelessness is what makes replay shardable: any
+//! thread can serve any cohort slice of any window independently.
+
+/// Milliseconds in a day — the denominator turning a per-day query
+/// volume into a per-window expectation.
+pub const DAY_MS: f64 = 86_400_000.0;
+
+/// Salt mixed into the campaign seed for the one-time user classing
+/// draw (DNS vs CDN), keeping it independent of the per-window count
+/// stream drawn from the unsalted seed.
+const CLASS_SALT: u64 = 0x5245_504c_4159; // "REPLAY"
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+#[inline]
+fn u01(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Tuning knobs for a replay run.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Campaign seed; every draw derives from it via `par::seed_for`.
+    pub seed: u64,
+    /// Serving-window length, simulated ms. Queries within a window
+    /// resolve against the catchment as of the window's start.
+    pub window_ms: f64,
+    /// Replay horizon, simulated ms; `ceil(horizon/window)` windows.
+    pub horizon_ms: f64,
+    /// Fraction of users classed as DNS (resolver-amortized); the rest
+    /// are CDN (per-connection).
+    pub dns_user_share: f64,
+    /// Share of a DNS user's queries that can never be answered from a
+    /// resolver cache (Chromium-style junk probes; see
+    /// `DitlConfig::uncacheable_share` in the workload crate).
+    pub dns_uncacheable_share: f64,
+    /// Cache-miss rate for the cacheable remainder (the paper measures
+    /// ≈0.5–1.5% against the two-day TLD TTL).
+    pub dns_miss_rate: f64,
+    /// Connections a CDN user opens per logical query (each pays the
+    /// full anycast RTT).
+    pub cdn_conns_per_query: f64,
+}
+
+impl Default for ReplayConfig {
+    /// One-minute windows over a 15-minute horizon, an even DNS/CDN
+    /// split, and the paper's cache parameters (≈53% uncacheable from
+    /// the DITL junk mix, 1% miss rate on the rest).
+    fn default() -> Self {
+        Self {
+            seed: 2021,
+            window_ms: 60_000.0,
+            horizon_ms: 900_000.0,
+            dns_user_share: 0.5,
+            dns_uncacheable_share: 0.53,
+            dns_miss_rate: 0.01,
+            cdn_conns_per_query: 1.0,
+        }
+    }
+}
+
+/// Precomputed per-user replay rates: each user's class (DNS or CDN)
+/// and the factor converting their daily query volume into the volume
+/// the anycast service actually sees.
+///
+/// DNS users get `amortized_root_rate(1, uncacheable, miss)` — the
+/// resolver-cache survival fraction — so a 100 q/day user might send
+/// only a handful of root-visible queries per day. CDN users get
+/// `cdn_conns_per_query`, since every connection pays the RTT.
+#[derive(Debug, Clone)]
+pub struct QuerySchedule {
+    seed: u64,
+    /// `window_ms / DAY_MS`, folded once.
+    window_frac: f64,
+    /// Per-user rate factor (multiplies the live `queries_per_day`).
+    factor: Vec<f64>,
+    /// Per-user class: `true` = DNS (amortized), `false` = CDN.
+    is_dns: Vec<bool>,
+}
+
+impl QuerySchedule {
+    /// Builds the per-user schedule for a `population`-user engine.
+    ///
+    /// Classing is one salted `seed_for` draw per user, so the DNS/CDN
+    /// split is stable across runs, thread counts, and scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a share lies outside `[0, 1]` or the window is not
+    /// positive.
+    pub fn new(population: usize, cfg: &ReplayConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.dns_user_share),
+            "dns_user_share must be a fraction"
+        );
+        assert!(cfg.window_ms > 0.0, "window must be positive");
+        assert!(
+            cfg.cdn_conns_per_query >= 0.0,
+            "connections per query must be non-negative"
+        );
+        let dns_factor =
+            dns::resolver::amortized_root_rate(1.0, cfg.dns_uncacheable_share, cfg.dns_miss_rate);
+        let mut factor = Vec::with_capacity(population);
+        let mut is_dns = Vec::with_capacity(population);
+        for u in 0..population {
+            let dns_user = u01(par::seed_for(cfg.seed ^ CLASS_SALT, u as u64)) < cfg.dns_user_share;
+            is_dns.push(dns_user);
+            factor.push(if dns_user { dns_factor } else { cfg.cdn_conns_per_query });
+        }
+        Self { seed: cfg.seed, window_frac: cfg.window_ms / DAY_MS, factor, is_dns }
+    }
+
+    /// Expanded population the schedule was built for.
+    pub fn population(&self) -> usize {
+        self.factor.len()
+    }
+
+    /// Whether user `u` is DNS-classed (resolver-amortized).
+    pub fn is_dns(&self, u: usize) -> bool {
+        self.is_dns[u]
+    }
+
+    /// Query count for one `(window, user)` slot given the user's
+    /// *current* daily query volume: stochastic rounding of the
+    /// expectation, seed-pure per slot.
+    #[inline]
+    pub fn queries_in_window(&self, window: u64, u: usize, queries_per_day: f64) -> u64 {
+        let expected = queries_per_day * self.factor[u] * self.window_frac;
+        let slot = window
+            .wrapping_mul(self.factor.len() as u64)
+            .wrapping_add(u as u64);
+        (expected + u01(par::seed_for(self.seed, slot))) as u64
+    }
+
+    /// Batched counts for one cohort's member range — the replay hot
+    /// path. `queries_per_day` is the cohort's slice of the engine's
+    /// live columns starting at user id `start`; returns the cohort's
+    /// `(dns, cdn)` query totals for the window. Iterates matched
+    /// slices so the per-user cost is one `seed_for` plus a few
+    /// multiplies.
+    #[inline]
+    pub fn window_counts(&self, window: u64, start: u32, queries_per_day: &[f64]) -> (u64, u64) {
+        let lo = start as usize;
+        let hi = lo + queries_per_day.len();
+        let factor = &self.factor[lo..hi];
+        let is_dns = &self.is_dns[lo..hi];
+        let base = window
+            .wrapping_mul(self.factor.len() as u64)
+            .wrapping_add(lo as u64);
+        let mut dns = 0u64;
+        let mut cdn = 0u64;
+        for i in 0..queries_per_day.len() {
+            let expected = queries_per_day[i] * factor[i] * self.window_frac;
+            let n = (expected + u01(par::seed_for(self.seed, base.wrapping_add(i as u64)))) as u64;
+            if is_dns[i] {
+                dns += n;
+            } else {
+                cdn += n;
+            }
+        }
+        (dns, cdn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_split_tracks_the_configured_share() {
+        let cfg = ReplayConfig { dns_user_share: 0.25, ..ReplayConfig::default() };
+        let s = QuerySchedule::new(40_000, &cfg);
+        let dns = (0..s.population()).filter(|&u| s.is_dns(u)).count() as f64;
+        let share = dns / s.population() as f64;
+        assert!((share - 0.25).abs() < 0.01, "share {share} far from 0.25");
+    }
+
+    #[test]
+    fn dns_users_are_amortized_below_cdn_users() {
+        let s = QuerySchedule::new(10_000, &ReplayConfig::default());
+        let (mut dns_total, mut cdn_total) = (0u64, 0u64);
+        let (mut dns_users, mut cdn_users) = (0u64, 0u64);
+        for u in 0..s.population() {
+            let n: u64 = (0..24).map(|w| s.queries_in_window(w, u, 100.0)).sum();
+            if s.is_dns(u) {
+                dns_total += n;
+                dns_users += 1;
+            } else {
+                cdn_total += n;
+                cdn_users += 1;
+            }
+        }
+        let dns_rate = dns_total as f64 / dns_users as f64;
+        let cdn_rate = cdn_total as f64 / cdn_users as f64;
+        assert!(
+            dns_rate < 0.8 * cdn_rate,
+            "resolver caches should absorb most DNS demand: {dns_rate} vs {cdn_rate}"
+        );
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased_and_seed_pure() {
+        let s = QuerySchedule::new(1, &ReplayConfig { cdn_conns_per_query: 1.0, ..Default::default() });
+        // qpd chosen so the per-window expectation is fractional.
+        let qpd = 3.7 * DAY_MS / 60_000.0;
+        let total: u64 = (0..10_000).map(|w| s.queries_in_window(w, 0, qpd)).sum();
+        let mean = total as f64 / 10_000.0;
+        let factor = if s.is_dns(0) {
+            dns::resolver::amortized_root_rate(1.0, 0.53, 0.01)
+        } else {
+            1.0
+        };
+        let expected = 3.7 * factor;
+        assert!((mean - expected).abs() < 0.05 * expected + 0.05, "mean {mean} vs {expected}");
+        // Same slot, same draw.
+        assert_eq!(s.queries_in_window(7, 0, qpd), s.queries_in_window(7, 0, qpd));
+    }
+
+    #[test]
+    fn batched_counts_match_the_single_slot_path() {
+        let s = QuerySchedule::new(64, &ReplayConfig::default());
+        let qpd: Vec<f64> = (0..32).map(|i| 50.0 + i as f64 * 7.0).collect();
+        let (dns, cdn) = s.window_counts(3, 16, &qpd);
+        let (mut want_dns, mut want_cdn) = (0u64, 0u64);
+        for (i, &q) in qpd.iter().enumerate() {
+            let u = 16 + i;
+            let n = s.queries_in_window(3, u, q);
+            if s.is_dns(u) {
+                want_dns += n;
+            } else {
+                want_cdn += n;
+            }
+        }
+        assert_eq!((dns, cdn), (want_dns, want_cdn));
+    }
+}

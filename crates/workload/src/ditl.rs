@@ -98,6 +98,26 @@ impl Default for DitlConfig {
     }
 }
 
+impl DitlConfig {
+    /// Share of a median user's daily root-relevant demand that a
+    /// recursive's positive cache can never absorb: Chromium-style
+    /// random-label probes, whose first labels are unique by design.
+    /// Valid-TLD lookups amortize over the 2-day delegation TTL and
+    /// junk/typo names over the negative-cache TTL, so this share is
+    /// what the streaming replay generator (`anycast-replay`) treats as
+    /// always reaching a root; the cacheable remainder pays only the
+    /// long-run miss rate (see `dns::resolver::amortized_root_rate`).
+    pub fn uncacheable_share(&self) -> f64 {
+        let valid = self.valid_per_user_median * (1.0 + self.typo_fraction);
+        let total = valid + self.chromium_per_user + self.junk_per_user_median;
+        if total > 0.0 {
+            self.chromium_per_user / total
+        } else {
+            0.0
+        }
+    }
+}
+
 /// One aggregated capture row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DitlRow {

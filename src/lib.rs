@@ -45,6 +45,7 @@
 //! | [`analysis`] | Eq. 1–3, amortization, joins, path-length pipeline |
 //! | [`dynamics`] | discrete-event routing dynamics, incremental catchment recompute |
 //! | [`loadmgmt`] | closed-loop load-management controllers (threshold, hysteresis, distributed) |
+//! | [`replay`] | live traffic replay: streaming query schedules served through the dynamics engine |
 //! | [`core`] | world builder, experiment registry, renderers |
 
 pub use anycast_core::{experiments, Artifact, World, WorldConfig};
@@ -59,5 +60,6 @@ pub use dynamics;
 pub use geo;
 pub use loadmgmt;
 pub use netsim;
+pub use replay;
 pub use topology;
 pub use workload;

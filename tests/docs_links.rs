@@ -74,3 +74,17 @@ fn every_relative_doc_link_resolves() {
     assert!(checked > 0, "no relative links found — the extractor is broken");
     assert!(broken.is_empty(), "broken relative doc links:\n  {}", broken.join("\n  "));
 }
+
+/// The handbook set is part of the repo's contract: auto-discovery
+/// over `docs/` keeps links honest only for pages that exist, so pin
+/// the pages other docs and CI steps rely on by name.
+#[test]
+fn required_handbook_pages_exist_and_are_scanned() {
+    let files = doc_files();
+    for page in ["PIPELINE.md", "DYNAMICS.md", "REPLAY.md", "BENCHMARKS.md"] {
+        assert!(
+            files.iter().any(|p| p.file_name().is_some_and(|f| f == page)),
+            "docs/{page} is missing from the scanned documentation set"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Replay-mode guarantees: the `dynreplay` experiment is byte-identical
+//! at any thread count — rendered CSVs *and* the `replay.*` counters
+//! that land in `metrics.json` — and the replayed query stream
+//! conserves: every generated query is either served or degraded, and
+//! splits exactly into its DNS and CDN components.
+
+use anycast_context::{experiments, obs, World, WorldConfig};
+
+const COUNTERS: [&str; 5] = [
+    "replay.queries.generated",
+    "replay.queries.dns",
+    "replay.queries.cdn",
+    "replay.queries.served",
+    "replay.queries.degraded",
+];
+
+/// One test on purpose: `par::set_threads` is process-global, so the
+/// 1-thread and 8-thread runs must not race a sibling test.
+#[test]
+fn dynreplay_is_byte_identical_and_conserves_across_thread_counts() {
+    let config = WorldConfig::small(77);
+    let run = |threads: usize| -> (Vec<(String, String)>, Vec<u64>) {
+        par::set_threads(threads);
+        let world = World::build(&config);
+        let before: Vec<u64> = COUNTERS.iter().map(|n| obs::counter_value(n)).collect();
+        let artifacts: Vec<(String, String)> = experiments::run("dynreplay", &world)
+            .iter()
+            .map(|a| (a.render_csv(), a.render_text()))
+            .collect();
+        let deltas = COUNTERS
+            .iter()
+            .zip(before)
+            .map(|(n, b)| obs::counter_value(n) - b)
+            .collect();
+        (artifacts, deltas)
+    };
+    let (single, single_counts) = run(1);
+    let (eight, eight_counts) = run(8);
+    par::set_threads(0);
+
+    assert_eq!(single.len(), eight.len());
+    for (i, (s, e)) in single.iter().zip(&eight).enumerate() {
+        assert_eq!(s.0, e.0, "artifact {i}: CSV differs between 1 and 8 threads");
+        assert_eq!(s.1, e.1, "artifact {i}: text differs between 1 and 8 threads");
+    }
+    assert_eq!(
+        single_counts, eight_counts,
+        "replay.* counters must be thread-count independent"
+    );
+
+    let [generated, dns, cdn, served, degraded] = single_counts[..] else {
+        unreachable!("five counters")
+    };
+    assert!(generated > 0, "the replay must generate traffic");
+    assert_eq!(generated, served + degraded, "served + degraded must conserve generated");
+    assert_eq!(generated, dns + cdn, "DNS + CDN must partition the stream");
+}
