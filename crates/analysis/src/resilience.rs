@@ -99,6 +99,22 @@ impl SiteCapacities {
         Self::from_per_site(loads.iter().map(|l| (l * factor).max(floor)).collect())
     }
 
+    /// Scales `site`'s capacity by `factor` in place — the provisioning
+    /// change behind a `CapacityScale` routing event. Reciprocal
+    /// factors compose back to the original value up to float rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is positive and finite (the table's
+    /// positive-finite invariant must survive), or if `site` is outside
+    /// the table.
+    pub fn scale(&mut self, site: SiteId, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "capacity factor must be positive, got {factor}");
+        let c = &mut self.caps[site.0 as usize];
+        *c *= factor;
+        assert!(c.is_finite() && *c > 0.0, "scaled capacity must stay positive finite");
+    }
+
     /// Number of sites covered.
     pub fn len(&self) -> usize {
         self.caps.len()

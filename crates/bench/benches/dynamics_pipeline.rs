@@ -1,0 +1,167 @@
+//! Prices the epoch pipeline: `run_pipelined` overlaps epoch N+1's
+//! assignment work with epoch N's record rendering (the weighted-median
+//! sort and derived fields) via `par::join`, so the render cost hides
+//! behind the next epoch's compute at `--threads > 1`.
+//!
+//! The same storm-flavoured scenario replays over the busiest root
+//! letter at a 200k expanded population, serial vs pipelined, at 1 and
+//! 8 threads. The determinism contract is asserted inline: **every**
+//! configuration must produce byte-identical timeline rows (pipelining
+//! reorders work, never results). Recorded as the `dynamics_pipeline`
+//! section of `results/dynamics_bench.json`.
+
+use anycast_bench::bench_world;
+use anycast_core::World;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynamics::{expand_counts, DynUser, DynamicsEngine, RecomputeMode, Scenario};
+use netsim::SimTime;
+use std::sync::Arc;
+use topology::SiteId;
+
+const POPULATION: usize = 200_000;
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+fn dyn_users(world: &World) -> Vec<DynUser> {
+    let total_users = world.population.total_users();
+    let total_qpd = world.ditl.total_queries_per_day();
+    world
+        .population
+        .locations
+        .iter()
+        .map(|l| DynUser {
+            asn: l.asn,
+            location: world.internet.world.region(l.region).center,
+            weight: l.users,
+            queries_per_day: if total_users > 0.0 {
+                total_qpd * l.users / total_users
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+fn expanded_engine(world: &World) -> DynamicsEngine<'_> {
+    let letter = world
+        .letters
+        .letters
+        .iter()
+        .max_by_key(|l| l.deployment.global_site_count())
+        .expect("letters exist");
+    let base = dyn_users(world);
+    let counts = expand_counts(
+        &base.iter().map(|u| u.weight).collect::<Vec<_>>(),
+        POPULATION,
+        2021,
+    );
+    DynamicsEngine::new_expanded(
+        &world.internet.graph,
+        Arc::clone(&letter.deployment),
+        world.model.clone(),
+        &base,
+        &counts,
+        2021,
+        RecomputeMode::Incremental,
+    )
+}
+
+fn hottest_site(eng: &DynamicsEngine<'_>) -> SiteId {
+    let loads = eng.site_loads();
+    let mut best = 0usize;
+    for (i, l) in loads.iter().enumerate() {
+        if *l > loads[best] {
+            best = i;
+        }
+    }
+    SiteId(best as u32)
+}
+
+fn bench(c: &mut Criterion) {
+    let world = bench_world();
+    let mut eng = expanded_engine(&world);
+    let target = hottest_site(&eng);
+    // Four flaps, no jitter: eight epochs of real shift work, ending
+    // back at baseline so the engine is reusable across iterations.
+    let scenario = Scenario::site_flap(
+        "bench-pipeline-flap",
+        target,
+        SimTime::from_secs(60.0),
+        300_000.0,
+        4,
+        0.0,
+        2021,
+    );
+
+    // Warm once: the very first run pays the full init recompute, so
+    // its ledger columns differ from every later (steady-state) run.
+    // The scenario ends back at baseline, making all warm runs — the
+    // ones actually compared — byte-identical.
+    eng.run(&scenario);
+    let reference = eng.run(&scenario).rows();
+    let events = reference.len().saturating_sub(1).max(1);
+
+    let mut group = c.benchmark_group("dynamics_pipeline");
+    group.sample_size(10);
+    for &threads in &THREAD_COUNTS {
+        par::set_threads(threads);
+        group.bench_function(format!("serial_t{threads}"), |b| {
+            b.iter(|| criterion::black_box(eng.run(&scenario)).records.len())
+        });
+        group.bench_function(format!("pipelined_t{threads}"), |b| {
+            b.iter(|| criterion::black_box(eng.run_pipelined(&scenario)).records.len())
+        });
+    }
+    group.finish();
+
+    // Recorded summary: minimum ms per epoch, serial vs pipelined, at
+    // each thread count (minimum of repeated runs estimates intrinsic
+    // cost on shared hosts), with byte-identity asserted on every
+    // configuration against the serial single-thread reference.
+    const RUNS: usize = 15;
+    let mut sections = Vec::new();
+    let mut by_config: Vec<(usize, f64, f64)> = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        par::set_threads(threads);
+        let mut ms = [0.0f64; 2];
+        for (slot, pipelined) in [(0usize, false), (1usize, true)] {
+            eng.run(&scenario); // warm-up, same cache state per config
+            let mut samples = Vec::with_capacity(RUNS);
+            for _ in 0..RUNS {
+                let t = std::time::Instant::now();
+                let timeline = if pipelined {
+                    eng.run_pipelined(&scenario)
+                } else {
+                    eng.run(&scenario)
+                };
+                samples.push(t.elapsed().as_secs_f64());
+                assert_eq!(
+                    timeline.rows(),
+                    reference,
+                    "{} at {threads} threads diverged from the serial reference",
+                    if pipelined { "pipelined" } else { "serial" },
+                );
+            }
+            samples.sort_by(f64::total_cmp);
+            ms[slot] = samples[0] * 1000.0 / events as f64;
+        }
+        by_config.push((threads, ms[0], ms[1]));
+        sections.push(format!(
+            "{{\"threads\": {threads}, \"serial_ms_per_epoch\": {:.3}, \
+             \"pipelined_ms_per_epoch\": {:.3}}}",
+            ms[0], ms[1]
+        ));
+    }
+    par::set_threads(0);
+    let (_, serial_t8, pipelined_t8) = by_config[1];
+    let speedup = if pipelined_t8 > 0.0 { serial_t8 / pipelined_t8 } else { 0.0 };
+    let json = format!(
+        "{{\"scenario\": \"site-flap x4\", \"population\": {POPULATION}, \"events\": {events}, \
+         \"byte_identical\": true, \"runs\": [{}], \"speedup_t8\": {speedup:.3}}}",
+        sections.join(", "),
+    );
+    anycast_bench::record_bench_section("dynamics_pipeline", &json);
+    println!("dynamics epoch pipelining: {json}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

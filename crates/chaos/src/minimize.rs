@@ -1,0 +1,106 @@
+//! Seed-minimizing reproduction: shrink a failing storm to a minimal
+//! incident list that still violates an invariant.
+//!
+//! Two phases, both probing with fresh engines from the factory (every
+//! probe is an independent deterministic run):
+//!
+//! 1. **Shortest failing prefix** — binary search over prefix length.
+//!    Storms are chronological, so a violation at epoch E usually needs
+//!    only the incidents scheduled before E; this alone typically cuts
+//!    thousands of incidents to tens, in O(log n) probes.
+//! 2. **ddmin** over the surviving prefix — classic delta debugging
+//!    (Zeller's complement reduction): try dropping chunks at
+//!    increasing granularity until no single chunk can be removed.
+//!
+//! Minimization operates on *incidents*, never raw events: an incident
+//! is a paired episode (down+up, surge+reciprocal), so every subset is
+//! a legal, recoverable storm and the search needs no repair step. The
+//! result is 1-minimal at incident granularity — dropping any one
+//! remaining incident makes the violation vanish (up to the probe
+//! budget).
+
+use crate::harness::{run_storm, ChaosOptions, EngineFactory};
+use crate::invariants::Violation;
+use crate::storm::Incident;
+
+/// Outcome of a minimization.
+#[derive(Debug)]
+pub struct MinimizeOutcome {
+    /// The minimal failing incident list (the original list when the
+    /// failure did not reproduce).
+    pub incidents: Vec<Incident>,
+    /// Delta-debugging probes spent.
+    pub probes: u32,
+    /// The violation the minimal storm raises (first one), if the
+    /// failure reproduced.
+    pub violation: Option<Violation>,
+}
+
+/// Shrinks `incidents` to a minimal sublist whose storm still violates
+/// an invariant under `opts`, spending at most `max_probes` probe runs.
+/// Probes force `stop_on_violation` (a probe only needs the boolean).
+pub fn minimize<'g>(
+    factory: &EngineFactory<'g>,
+    incidents: &[Incident],
+    opts: &ChaosOptions,
+    max_probes: u32,
+) -> MinimizeOutcome {
+    let probe_opts = ChaosOptions { stop_on_violation: true, ..opts.clone() };
+    let mut probes = 0u32;
+    let mut last_violation: Option<Violation> = None;
+    let mut fails = |subset: &[Incident], probes: &mut u32| -> bool {
+        *probes += 1;
+        let report = run_storm(factory, subset, &probe_opts);
+        if let Some(v) = report.violations.into_iter().next() {
+            last_violation = Some(v);
+            true
+        } else {
+            false
+        }
+    };
+
+    if incidents.is_empty() || !fails(incidents, &mut probes) {
+        return MinimizeOutcome { incidents: incidents.to_vec(), probes, violation: None };
+    }
+
+    // Phase 1: shortest failing prefix. Invariant: `incidents[..hi]`
+    // has been observed to fail.
+    let (mut lo, mut hi) = (1usize, incidents.len());
+    while lo < hi && probes < max_probes {
+        let mid = lo + (hi - lo) / 2;
+        if fails(&incidents[..mid], &mut probes) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mut cur: Vec<Incident> = incidents[..hi].to_vec();
+
+    // Phase 2: ddmin by complement reduction.
+    let mut n = 2usize;
+    while cur.len() >= 2 && probes < max_probes {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < cur.len() && probes < max_probes {
+            let end = (start + chunk).min(cur.len());
+            let complement: Vec<Incident> =
+                cur[..start].iter().chain(&cur[end..]).copied().collect();
+            if !complement.is_empty() && fails(&complement, &mut probes) {
+                cur = complement;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= cur.len() {
+                break; // 1-minimal: no single incident can go
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+    obs::counter_add("chaos.minimize_probes", u64::from(probes));
+    MinimizeOutcome { incidents: cur, probes, violation: last_violation }
+}

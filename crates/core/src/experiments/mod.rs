@@ -1,6 +1,7 @@
 //! Experiment registry: every table and figure, by id.
 
 pub mod cdn_exp;
+pub mod chaos_exp;
 pub mod dynamics_exp;
 pub mod extensions;
 pub mod local;
@@ -12,16 +13,16 @@ use crate::artifact::Artifact;
 use crate::world::World;
 
 /// All experiment ids, in paper order (extensions and dynamics last).
-pub const ALL_IDS: [&str; 34] = [
+pub const ALL_IDS: [&str; 35] = [
     "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab1", "tab2", "tab4", "tab5", "fig8",
     "fig9", "fig10", "fig11", "fig12", "appc", "fig14", "extunicast", "extlocals", "extddos",
     "extte", "exttld", "extinfer", "dynflap", "dyndrain", "dyndrain-load", "dynoutage", "dynpeer",
-    "dynring", "dynscale", "dynload", "dynload-surge", "dynload-cascade", "dynreplay",
+    "dynring", "dynscale", "dynload", "dynload-surge", "dynload-cascade", "dynreplay", "dynchaos",
 ];
 
 /// One-line description per experiment id, in [`ALL_IDS`] order — the
 /// catalogue behind `repro --list`.
-pub const DESCRIPTIONS: [(&str, &str); 34] = [
+pub const DESCRIPTIONS: [(&str, &str); 35] = [
     ("fig2", "Geographic and latency inflation per root query (CDFs of users)"),
     ("fig3", "Root queries per user per day, amortization across letters"),
     ("fig4", "CDN latency per page load and per RTT, by ring (CDFs of probes)"),
@@ -56,6 +57,7 @@ pub const DESCRIPTIONS: [(&str, &str); 34] = [
     ("dynload-surge", "Dynamics: sharp regional surge under four load-management policies"),
     ("dynload-cascade", "Dynamics: cascading overload — a crowd, then the crowded site fails"),
     ("dynreplay", "Dynamics: live query-stream replay through a crowd + flap, null vs distributed"),
+    ("dynchaos", "Dynamics: long-horizon chaos campaign — mixed incident storms under invariant checking"),
 ];
 
 /// Runs one experiment by id.
@@ -122,6 +124,7 @@ fn dispatch(id: &str, world: &World) -> Vec<Artifact> {
         "dynload-surge" => dynamics_exp::dynload_surge(world),
         "dynload-cascade" => dynamics_exp::dynload_cascade(world),
         "dynreplay" => dynamics_exp::dynreplay(world),
+        "dynchaos" => chaos_exp::dynchaos(world),
         other => panic!("unknown experiment id {other:?}"),
     }
 }

@@ -210,6 +210,83 @@ struct BatchOutcome {
     followups: Vec<(SimTime, RoutingEvent)>,
 }
 
+/// The planning half of one recompute: the new catchment, its origin
+/// groups snapshotted in original site ids, and the affected-cohort
+/// selection the group diff produced. Everything here is decided
+/// before any assignment state is written — the seam the phase split
+/// (`plan → rank → commit → render`) exposes so the pipelined stepper
+/// can overlap epoch N's record rendering with epoch N+1's planning.
+struct ReassignPlan<'g> {
+    catchment: Option<Catchment<'g>>,
+    dense_to_orig: Vec<SiteId>,
+    new_groups: DetHashMap<(Asn, ExportScope), GroupSnap>,
+    affected: Vec<u32>,
+    slice_users: u64,
+}
+
+/// The deferred tail of one epoch record: every scalar the commit
+/// phase already fixed, plus the raw `(latency, weight)` points whose
+/// weighted-median sort — and the fields derived from it — are left to
+/// [`RecordSeed::render`]. The seed owns its data outright (no engine
+/// borrow), so rendering is a pure function that may run on a
+/// [`par::join`] worker while the engine mutates itself for the next
+/// epoch, byte-identical at any thread count.
+#[derive(Debug, Clone)]
+struct RecordSeed {
+    t_ms: f64,
+    label: String,
+    shifted: f64,
+    shifted_qpd: f64,
+    served_w: f64,
+    path_sum: f64,
+    latency_pts: Vec<(f64, f64)>,
+    recomputed: u64,
+    reused: u64,
+    total_weight: f64,
+    baseline_median_ms: Option<f64>,
+    headroom_frac: Option<f64>,
+    note: String,
+}
+
+impl RecordSeed {
+    /// Sorts the latency points (the weighted median) and derives the
+    /// remaining record fields.
+    fn render(mut self) -> EpochRecord {
+        let median_ms = weighted_median(&mut self.latency_pts);
+        let frac = |w: f64| if self.total_weight > 0.0 { w / self.total_weight } else { 0.0 };
+        let shifted_frac = frac(self.shifted);
+        let unserved_frac = (1.0 - frac(self.served_w)).max(0.0);
+        let convergence_ms = if self.shifted > 0.0 {
+            BASE_CONVERGENCE_MS + SHIFT_CONVERGENCE_MS * shifted_frac
+        } else {
+            0.0
+        };
+        EpochRecord {
+            t_ms: self.t_ms,
+            event: self.label,
+            shifted: self.shifted,
+            shifted_frac,
+            unserved_frac,
+            median_ms,
+            inflation_ms: match (median_ms, self.baseline_median_ms) {
+                (Some(m), Some(b)) => Some(m - b),
+                _ => None,
+            },
+            mean_path_km: if self.served_w > 0.0 {
+                Some(self.path_sum / self.served_w)
+            } else {
+                None
+            },
+            convergence_ms,
+            degraded_queries: self.shifted_qpd * convergence_ms / MS_PER_DAY,
+            recomputed: self.recomputed,
+            reused: self.reused,
+            headroom_frac: self.headroom_frac,
+            note: self.note,
+        }
+    }
+}
+
 /// Removes the intersection of two sorted, deduplicated sets and
 /// returns it — the same-timestamp cancellation rule of batched
 /// epochs (e.g. `SiteDown` + `SiteUp` of one site net out to a
@@ -402,6 +479,10 @@ pub struct EpochStepper {
     queue: EventQueue,
     timeline: Timeline,
     processed: u64,
+    /// The most recent epoch's final record, rendering deferred by
+    /// [`EpochStepper::step_pipelined`]. Flushed into the timeline by
+    /// the next step (either flavor) or by [`EpochStepper::finish`].
+    pending: Option<RecordSeed>,
 }
 
 impl EpochStepper {
@@ -415,6 +496,7 @@ impl EpochStepper {
             queue: EventQueue::from_events(scenario.events.iter().copied()),
             timeline,
             processed: 0,
+            pending: None,
         }
     }
 
@@ -431,7 +513,58 @@ impl EpochStepper {
     /// timeline. Returns `false` (doing nothing) once the queue is
     /// exhausted.
     pub fn step(&mut self, eng: &mut DynamicsEngine<'_>) -> bool {
-        let Some(first) = self.queue.pop() else { return false };
+        self.flush_pending();
+        let Some(batch) = self.pop_batch(eng) else { return false };
+        self.timeline.records.extend(eng.epoch(&batch, &mut self.queue));
+        obs::counter_add("dynamics.epochs", 1);
+        true
+    }
+
+    /// [`EpochStepper::step`] with the record pipeline engaged: epoch
+    /// N's final record renders (the weighted-median sort and derived
+    /// fields) on a [`par::join`] worker *while* the engine applies
+    /// epoch N+1 — batch apply, catchment recompute, group-diff
+    /// invalidation, re-rank, and commit all overlap the rendering.
+    /// The deferred record is a pure function of data the commit phase
+    /// already extracted, so the finished timeline is byte-identical
+    /// to the serial stepper at any thread count. The epoch's *final*
+    /// record stays pending until the next step (or
+    /// [`EpochStepper::finish`]) flushes it, so
+    /// [`EpochStepper::records`] may lag one record behind mid-run.
+    pub fn step_pipelined(&mut self, eng: &mut DynamicsEngine<'_>) -> bool {
+        let Some(batch) = self.pop_batch(eng) else {
+            self.flush_pending();
+            return false;
+        };
+        let pending = self.pending.take();
+        let queue = &mut self.queue;
+        let (prev, (mut done, last)) = par::join(
+            move || pending.map(RecordSeed::render),
+            || eng.epoch_core(&batch, queue),
+        );
+        if let Some(r) = prev {
+            self.timeline.records.push(r);
+        }
+        self.timeline.records.append(&mut done);
+        self.pending = Some(last);
+        obs::counter_add("dynamics.epochs", 1);
+        true
+    }
+
+    /// Renders and appends the deferred record, if any.
+    fn flush_pending(&mut self) {
+        if let Some(seed) = self.pending.take() {
+            self.timeline.records.push(seed.render());
+        }
+    }
+
+    /// Pops every event sharing the next instant into one batch,
+    /// accrues overloaded-site time for the interval ending now (loads
+    /// were constant since the last epoch closed), advances the clock,
+    /// and counts the events — the shared preamble of both stepping
+    /// flavors. `None` once the queue is exhausted.
+    fn pop_batch(&mut self, eng: &mut DynamicsEngine<'_>) -> Option<Vec<RoutingEvent>> {
+        let first = self.queue.pop()?;
         // One epoch = every pending event at this exact instant.
         let mut batch = vec![first.event];
         while self
@@ -441,8 +574,6 @@ impl EpochStepper {
         {
             batch.push(self.queue.pop().expect("peeked").event);
         }
-        // Loads were constant since the last epoch closed: accrue
-        // overloaded-site time for the interval ending now.
         if eng.capacities.is_some() {
             let dt = first.at.as_ms() - eng.clock.now().as_ms();
             if dt > 0.0 {
@@ -456,9 +587,7 @@ impl EpochStepper {
         eng.clock.advance_to(first.at);
         obs::counter_add("dynamics.events_processed", batch.len() as u64);
         self.processed += batch.len() as u64;
-        self.timeline.records.extend(eng.epoch(&batch, &mut self.queue));
-        obs::counter_add("dynamics.epochs", 1);
-        true
+        Some(batch)
     }
 
     /// Events applied so far (the scenario's plus engine-scheduled
@@ -476,7 +605,8 @@ impl EpochStepper {
     /// Closes the run's ledgers (staged-drain and `dynamics.load.*`
     /// counters, exactly as [`DynamicsEngine::run`] emits them) and
     /// returns the timeline.
-    pub fn finish(self, eng: &mut DynamicsEngine<'_>) -> Timeline {
+    pub fn finish(mut self, eng: &mut DynamicsEngine<'_>) -> Timeline {
+        self.flush_pending();
         // Close the drain ledger: whatever is still draining when the
         // script runs out stays staged, so
         // `started = staged + aborted + completed` always balances.
@@ -803,6 +933,29 @@ impl<'g> DynamicsEngine<'g> {
         self
     }
 
+    /// Swaps (or detaches) the load-control policy mid-run — the
+    /// controller-churn primitive chaos storms exercise: operators do
+    /// change shedding policy under fire, and the engine must stay
+    /// consistent across the handover. The withhold sets a previous
+    /// controller installed stay in force (the new policy observes and
+    /// may release them); the `dynamics.load.*` ledger keeps accruing
+    /// across the swap. Takes effect from the next epoch's controller
+    /// rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when attaching `Some` controller without capacities,
+    /// exactly as [`DynamicsEngine::with_controller`] does.
+    pub fn set_controller(&mut self, controller: Option<Box<dyn LoadController>>) {
+        if controller.is_some() {
+            assert!(
+                self.capacities.is_some(),
+                "a load controller needs with_capacities first (no overload signal without limits)"
+            );
+        }
+        self.controller = controller;
+    }
+
     /// The `dynamics.load.*` ledger of this run so far: weight shed
     /// and released by the attached controller, effective controller
     /// rounds, and overloaded-site time (accrued whenever capacities
@@ -1048,6 +1201,22 @@ impl<'g> DynamicsEngine<'g> {
         timeline
     }
 
+    /// [`DynamicsEngine::run`] with epoch pipelining
+    /// ([`EpochStepper::step_pipelined`]): epoch N's record rendering
+    /// overlaps epoch N+1's batch apply, group-diff invalidation, and
+    /// re-rank on a [`par::join`] worker. Byte-identical to `run` at
+    /// any thread count; the `dynamics_pipeline` bench section prices
+    /// the overlap.
+    pub fn run_pipelined(&mut self, scenario: &Scenario) -> Timeline {
+        let span = obs::span!("dynamics.scenario", name = scenario.name.as_str());
+        let mut stepper = EpochStepper::new(self, scenario);
+        while stepper.step_pipelined(self) {}
+        let processed = stepper.events_processed();
+        let timeline = stepper.finish(self);
+        span.add_items(processed);
+        timeline
+    }
+
     /// Announced sites currently loaded past their capacity, and their
     /// total user weight above it.
     fn overload_snapshot(&self) -> (usize, f64) {
@@ -1075,6 +1244,21 @@ impl<'g> DynamicsEngine<'g> {
     /// more record — so an epoch yields one record plus zero or more
     /// `ctrl[…]` rounds.
     fn epoch(&mut self, batch: &[RoutingEvent], queue: &mut EventQueue) -> Vec<EpochRecord> {
+        let (mut records, last) = self.epoch_core(batch, queue);
+        records.push(last.render());
+        records
+    }
+
+    /// [`DynamicsEngine::epoch`] with the final record's rendering
+    /// deferred: returns every earlier record rendered (controller
+    /// epochs yield several) plus the last one as a [`RecordSeed`],
+    /// which the pipelined stepper renders while the *next* epoch is
+    /// applied.
+    fn epoch_core(
+        &mut self,
+        batch: &[RoutingEvent],
+        queue: &mut EventQueue,
+    ) -> (Vec<EpochRecord>, RecordSeed) {
         let BatchOutcome { labels, mut notes, escalated, followups } = self.apply_batch(batch);
         let label = labels.join(" + ");
         // Snapshot the assignment state only when an abort is
@@ -1089,7 +1273,7 @@ impl<'g> DynamicsEngine<'g> {
                 self.orphans.clone(),
             )
         });
-        let mut rec = self.reassign(&label, false);
+        let mut seed = self.reassign_seeded(&label, false);
         let mut committed = true;
         if let Some((states, groups, index, orphans)) = snap {
             let violation = {
@@ -1118,7 +1302,7 @@ impl<'g> DynamicsEngine<'g> {
                     .map(|s| format!("drain-abort {s}"))
                     .collect::<Vec<_>>()
                     .join(" + ");
-                rec = self.reassign(&format!("{label} => {aborts}"), false);
+                seed = self.reassign_seeded(&format!("{label} => {aborts}"), false);
                 notes.push(format!(
                     "drain aborted: {site} load {load:.3} exceeds cap {cap:.3}"
                 ));
@@ -1133,13 +1317,14 @@ impl<'g> DynamicsEngine<'g> {
                 queue.push(at, ev);
             }
         }
-        rec.headroom_frac = self.current_headroom();
-        rec.note = notes.join("; ");
-        let mut records = vec![rec];
+        seed.headroom_frac = self.current_headroom();
+        seed.note = notes.join("; ");
+        let mut seeds = vec![seed];
         if self.controller.is_some() {
-            self.controller_rounds(&mut records);
+            self.controller_rounds(&mut seeds);
         }
-        records
+        let last = seeds.pop().expect("at least the batch record");
+        (seeds.into_iter().map(RecordSeed::render).collect(), last)
     }
 
     /// Runs the attached controller's observe → decide → apply rounds
@@ -1147,7 +1332,7 @@ impl<'g> DynamicsEngine<'g> {
     /// effective round. Decisions read only per-cohort aggregates
     /// (loads, entry sessions), so a round's cost is independent of
     /// the expanded population.
-    fn controller_rounds(&mut self, records: &mut Vec<EpochRecord>) {
+    fn controller_rounds(&mut self, seeds: &mut Vec<RecordSeed>) {
         let mut ctrl = self.controller.take().expect("caller checked");
         for _ in 0..ctrl.max_rounds().max(1) {
             let loads = self.site_loads();
@@ -1211,10 +1396,10 @@ impl<'g> DynamicsEngine<'g> {
                 (0, r) => format!("ctrl[{}] release {r}", ctrl.name()),
                 (s, r) => format!("ctrl[{}] shed {s} + release {r}", ctrl.name()),
             };
-            let mut r = self.reassign(&label, false);
+            let mut r = self.reassign_seeded(&label, false);
             r.headroom_frac = self.current_headroom();
             r.note = detail.join(" ");
-            records.push(r);
+            seeds.push(r);
         }
         self.controller = Some(ctrl);
     }
@@ -1263,6 +1448,7 @@ impl<'g> DynamicsEngine<'g> {
         let mut demotes: Vec<u32> = Vec::new();
         let mut gswaps: Vec<u32> = Vec::new();
         let mut surges: Vec<(GeoPoint, f64, f64)> = Vec::new();
+        let mut capscales: Vec<(SiteId, f64)> = Vec::new();
         let mut ticks = 0usize;
         for ev in batch {
             match *ev {
@@ -1290,6 +1476,13 @@ impl<'g> DynamicsEngine<'g> {
                     );
                     assert!(radius_km >= 0.0, "demand radius must be non-negative");
                     surges.push((center, radius_km, factor));
+                }
+                RoutingEvent::CapacityScale { site, factor } => {
+                    assert!(
+                        factor.is_finite() && factor > 0.0,
+                        "capacity factor must be positive and finite, got {factor}"
+                    );
+                    capscales.push((check(site), factor));
                 }
                 RoutingEvent::LoadTick => ticks += 1,
             }
@@ -1359,6 +1552,26 @@ impl<'g> DynamicsEngine<'g> {
                 center.lat(),
                 center.lon(),
             ));
+        }
+        // Capacity changes are the supply-side twin of surges: no
+        // announcement moves, only the headroom ledger. Applied in
+        // batch order (same-site factors compose multiplicatively); on
+        // an engine without capacities the event is a recorded no-op —
+        // there is no table to scale.
+        for &(site, factor) in &capscales {
+            out.labels.push(format!("cap {site} x{factor:.2}"));
+            match self.capacities.as_mut() {
+                Some(caps) => {
+                    caps.scale(site, factor);
+                    out.notes.push(format!(
+                        "capacity of {site} x{factor:.3} -> {:.1}",
+                        caps.capacity(site)
+                    ));
+                }
+                None => out.notes.push(format!(
+                    "capacity scale on {site} ignored: engine tracks no capacities"
+                )),
+            }
         }
         if ticks > 0 {
             out.labels.push("tick".to_string());
@@ -1779,8 +1992,31 @@ impl<'g> DynamicsEngine<'g> {
 
     /// Recomputes the catchment over the effective deployment, re-ranks
     /// the affected users (all of them under [`RecomputeMode::Full`] or
-    /// at init), and closes the epoch.
+    /// at init), and closes the epoch. Composed from the four phases —
+    /// [`DynamicsEngine::plan_reassign`] (catchment + group diff +
+    /// invalidation selection), [`DynamicsEngine::rank_plan`] (the
+    /// parallel re-rank), [`DynamicsEngine::commit_plan`] (state
+    /// writes + counters), and [`RecordSeed::render`] — run back to
+    /// back.
     fn reassign(&mut self, label: &str, is_init: bool) -> EpochRecord {
+        self.reassign_seeded(label, is_init).render()
+    }
+
+    /// [`DynamicsEngine::reassign`] up to (but not including) the
+    /// record rendering: the returned seed owns everything the record
+    /// needs, so the caller may render it later — or elsewhere.
+    fn reassign_seeded(&mut self, label: &str, is_init: bool) -> RecordSeed {
+        let plan = self.plan_reassign(is_init);
+        let results = self.rank_plan(&plan);
+        self.commit_plan(plan, &results, label, is_init)
+    }
+
+    /// Phase 1 of a recompute: the new catchment over the effective
+    /// deployment, its origin-group snapshot in original site ids, and
+    /// the affected-cohort selection (the group diff and invalidation
+    /// rules 0–3). Mutates only the route cache; every assignment
+    /// write waits for [`DynamicsEngine::commit_plan`].
+    fn plan_reassign(&mut self, is_init: bool) -> ReassignPlan<'g> {
         let population = self.cols.len();
         // New catchment over whatever is still announced.
         let (catchment, dense_to_orig) = match self.effective_deployment() {
@@ -1966,15 +2202,21 @@ impl<'g> DynamicsEngine<'g> {
             out.dedup();
             out
         };
+        ReassignPlan { catchment, dense_to_orig, new_groups, affected, slice_users }
+    }
 
-        // Re-rank the affected cohorts on the deterministic parallel
-        // layer; index order of `affected` fixes the merge order. One
-        // BGP decision per cohort serves every member: the decision
-        // sees only `(source AS, location)`, which members share.
+    /// Phase 2 of a recompute: re-rank the planned cohorts on the
+    /// deterministic parallel layer; index order of `plan.affected`
+    /// fixes the merge order. One BGP decision per cohort serves every
+    /// member: the decision sees only `(source AS, location)`, which
+    /// members share. Reads the engine immutably.
+    fn rank_plan(&self, plan: &ReassignPlan<'_>) -> Vec<Option<UserState>> {
         let cohorts = &self.cohorts;
         let model = &self.model;
-        let results: Vec<Option<UserState>> = match &catchment {
-            Some(c) => par::ordered_map(&affected, |_, &ci| {
+        let dense_to_orig = &plan.dense_to_orig;
+        let affected = &plan.affected;
+        match &plan.catchment {
+            Some(c) => par::ordered_map(affected, |_, &ci| {
                 let u = &cohorts[ci as usize];
                 c.assign_with_key(u.asn, &u.location).map(|(a, key)| {
                     let ms = model
@@ -2000,14 +2242,28 @@ impl<'g> DynamicsEngine<'g> {
                 })
             }),
             None => vec![None; affected.len()],
-        };
+        }
+    }
 
-        // Apply the updates: store each rank result in the per-cohort
-        // state table, mark changed cohorts stale for the lazy column
-        // sync, and re-home each cohort in the group index.
+    /// Phases 3 and 4 of a recompute: store each rank result in the
+    /// per-cohort state table, mark changed cohorts stale for the lazy
+    /// column sync, re-home each cohort in the group index, adopt the
+    /// new group snapshot, collect the epoch aggregates (one
+    /// O(cohorts) pass), and emit the recompute counters. Returns the
+    /// record as a [`RecordSeed`]; the weighted-median sort and the
+    /// fields derived from it are deferred to [`RecordSeed::render`].
+    fn commit_plan(
+        &mut self,
+        plan: ReassignPlan<'_>,
+        results: &[Option<UserState>],
+        label: &str,
+        is_init: bool,
+    ) -> RecordSeed {
+        let ReassignPlan { new_groups, affected, slice_users, .. } = plan;
+        let population = self.cols.len();
         let mut shifted = 0.0;
         let mut shifted_qpd = 0.0;
-        for (&ci, &res) in affected.iter().zip(&results) {
+        for (&ci, &res) in affected.iter().zip(results) {
             let cohort = self.cohorts[ci as usize];
             let old = self.states[ci as usize];
             let new = res.unwrap_or(UNSERVED);
@@ -2026,7 +2282,10 @@ impl<'g> DynamicsEngine<'g> {
 
         // Epoch aggregates in ascending cohort order — per-cohort,
         // since every member shares its cohort's assignment, so the
-        // cost stays O(cohorts) at any population.
+        // cost stays O(cohorts) at any population. Only the raw
+        // points are collected here; the median sort lives in
+        // `RecordSeed::render` so the pipelined stepper can overlap it
+        // with the next epoch.
         let mut latency_pts = Vec::new();
         let mut served_w = 0.0;
         let mut path_sum = 0.0;
@@ -2037,15 +2296,6 @@ impl<'g> DynamicsEngine<'g> {
                 latency_pts.push((st.latency_ms, c.weight));
             }
         }
-        let median_ms = weighted_median(&mut latency_pts);
-        let frac = |w: f64| if self.total_weight > 0.0 { w / self.total_weight } else { 0.0 };
-        let shifted_frac = frac(shifted);
-        let unserved_frac = (1.0 - frac(served_w)).max(0.0);
-        let convergence_ms = if shifted > 0.0 {
-            BASE_CONVERGENCE_MS + SHIFT_CONVERGENCE_MS * shifted_frac
-        } else {
-            0.0
-        };
         // The recompute ledger stays in *user* units: an affected
         // cohort recomputes once but stands in for all its members.
         let recomputed: u64 =
@@ -2062,22 +2312,18 @@ impl<'g> DynamicsEngine<'g> {
             self.slice_users_total += slice_users;
             self.population_total += population as u64;
         }
-        EpochRecord {
+        RecordSeed {
             t_ms: self.clock.now().as_ms(),
-            event: label.to_string(),
+            label: label.to_string(),
             shifted,
-            shifted_frac,
-            unserved_frac,
-            median_ms,
-            inflation_ms: match (median_ms, self.baseline_median_ms) {
-                (Some(m), Some(b)) => Some(m - b),
-                _ => None,
-            },
-            mean_path_km: if served_w > 0.0 { Some(path_sum / served_w) } else { None },
-            convergence_ms,
-            degraded_queries: shifted_qpd * convergence_ms / MS_PER_DAY,
+            shifted_qpd,
+            served_w,
+            path_sum,
+            latency_pts,
             recomputed,
             reused,
+            total_weight: self.total_weight,
+            baseline_median_ms: self.baseline_median_ms,
             headroom_frac: None,
             note: String::new(),
         }
@@ -2174,6 +2420,175 @@ mod tests {
         assert!(inc_rc < full_rc, "incremental {inc_rc} must beat full {full_rc}");
         // The flap moved somebody, both ways.
         assert!(ti.max_shifted_frac() > 0.0);
+    }
+
+    /// `run_pipelined` must render a byte-identical timeline to `run`
+    /// at every thread count: the deferred record is a pure function of
+    /// committed data, so overlapping its rendering with the next epoch
+    /// can change only wall-clock, never bytes.
+    #[test]
+    fn pipelined_timeline_is_byte_identical_to_serial() {
+        let (net, dep, users) = world(4);
+        let probe = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let target = hottest_site(&probe);
+        let scenario = Scenario::site_flap(
+            "pipeflap",
+            target,
+            SimTime::from_secs(60.0),
+            600_000.0,
+            3,
+            30_000.0,
+            7,
+        )
+        .ticks(SimTime::from_secs(45.0), 120_000.0, 20);
+        let mut serial = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let reference: Vec<Vec<String>> = serial.run(&scenario).rows();
+        for t in [1usize, 8] {
+            par::set_threads(t);
+            let mut piped = engine(&net, &dep, &users, RecomputeMode::Incremental);
+            let got = piped.run_pipelined(&scenario).rows();
+            par::set_threads(0);
+            assert_eq!(got, reference, "threads={t}");
+        }
+    }
+
+    /// Same identity with controller rounds attached — the multi-record
+    /// epoch path, where `epoch_core` returns earlier records already
+    /// rendered and defers only the last.
+    #[test]
+    fn pipelined_matches_serial_with_controller_rounds() {
+        let (net, dep, users) = world(4);
+        let total: f64 = users.iter().map(|u| u.weight).sum();
+        let build = |ctl: bool| {
+            let mut e = engine(&net, &dep, &users, RecomputeMode::Incremental)
+                .with_capacities(SiteCapacities::uniform(dep.sites.len(), total * 0.45));
+            if ctl {
+                e = e.with_controller(Box::new(loadmgmt::HysteresisController::new(0.8)));
+            }
+            e
+        };
+        let target = hottest_site(&build(false));
+        let scenario = Scenario::site_flap(
+            "pipectl",
+            target,
+            SimTime::from_secs(30.0),
+            300_000.0,
+            2,
+            60_000.0,
+            5,
+        )
+        .ticks(SimTime::from_secs(20.0), 90_000.0, 12);
+        let reference = build(true).run(&scenario).rows();
+        par::set_threads(8);
+        let got = build(true).run_pipelined(&scenario).rows();
+        par::set_threads(0);
+        assert_eq!(got, reference);
+    }
+
+    /// A capacity dip moves no users (announcements are untouched) but
+    /// must show up in the headroom ledger, and the reciprocal restore
+    /// must land headroom back where it started.
+    #[test]
+    fn capacity_scale_changes_headroom_not_assignments() {
+        let (net, dep, users) = world(4);
+        let total: f64 = users.iter().map(|u| u.weight).sum();
+        let mut e = engine(&net, &dep, &users, RecomputeMode::Incremental)
+            .with_capacities(SiteCapacities::uniform(dep.sites.len(), total));
+        let target = hottest_site(&e);
+        let before = e.user_snapshot();
+        let init_headroom = e.init_record().headroom_frac.unwrap();
+        let s = Scenario::capacity_dip("dip", target, SimTime::from_secs(10.0), 0.25, 60_000.0);
+        let t = e.run(&s);
+        assert_eq!(t.records.len(), 3);
+        let dip = &t.records[1];
+        assert_eq!(dip.event, format!("cap {target} x0.25"));
+        assert_eq!(dip.shifted, 0.0, "capacity moves no announcements");
+        assert!(
+            dip.headroom_frac.unwrap() < init_headroom,
+            "shrinking the hottest site's capacity must shrink worst headroom"
+        );
+        let back = t.records.last().unwrap();
+        assert!(
+            (back.headroom_frac.unwrap() - init_headroom).abs() < 1e-9,
+            "reciprocal restore lands headroom back"
+        );
+        assert_eq!(e.user_snapshot(), before, "assignments untouched throughout");
+    }
+
+    /// Without a capacity table the event has nothing to scale: it must
+    /// be a recorded no-op, not a panic or a silent drop.
+    #[test]
+    fn capacity_scale_without_capacities_is_recorded_noop() {
+        let (net, dep, users) = world(3);
+        let mut e = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        let before = e.user_snapshot();
+        let s = Scenario::new("nocaps").at(
+            SimTime::from_secs(5.0),
+            RoutingEvent::CapacityScale { site: SiteId(0), factor: 0.5 },
+        );
+        let t = e.run(&s);
+        let r = &t.records[1];
+        assert_eq!(r.event, "cap site-0 x0.50");
+        assert!(r.note.contains("ignored"), "the no-op must be recorded: {}", r.note);
+        assert_eq!(e.user_snapshot(), before);
+    }
+
+    /// Swapping the policy mid-run keeps the run consistent: the second
+    /// half runs under the new controller and the ledger keeps
+    /// accruing. Swapping NullController in must leave decisions off.
+    #[test]
+    fn set_controller_swaps_policy_mid_run() {
+        let (net, dep, users) = world(4);
+        let total: f64 = users.iter().map(|u| u.weight).sum();
+        let mut e = engine(&net, &dep, &users, RecomputeMode::Incremental)
+            .with_capacities(SiteCapacities::uniform(dep.sites.len(), total * 0.40))
+            .with_controller(Box::new(loadmgmt::NullController));
+        let target = hottest_site(&e);
+        let scenario = Scenario::site_flap(
+            "ctl-swap",
+            target,
+            SimTime::from_secs(30.0),
+            120_000.0,
+            1,
+            0.0,
+            3,
+        )
+        .ticks(SimTime::from_secs(200.0), 30_000.0, 4);
+        let mut stepper = EpochStepper::new(&e, &scenario);
+        // Run the flap under Null, then hand over to the distributed
+        // policy for the tick tail.
+        let mut stepped = 0;
+        while stepper.next_time().is_some_and(|t| t.as_secs() < 200.0) {
+            assert!(stepper.step(&mut e));
+            stepped += 1;
+        }
+        assert!(stepped >= 2, "the flap must have applied under Null");
+        let rounds_before = e.load_ledger().controller_rounds;
+        assert_eq!(rounds_before, 0, "NullController never acts");
+        e.set_controller(Some(Box::new(loadmgmt::HysteresisController::new(0.8))));
+        while stepper.step(&mut e) {}
+        let t = stepper.finish(&mut e);
+        assert!(t.records.len() >= 7);
+        // The handover itself must not corrupt determinism: a second
+        // identical run produces identical rows.
+        let mut e2 = engine(&net, &dep, &users, RecomputeMode::Incremental)
+            .with_capacities(SiteCapacities::uniform(dep.sites.len(), total * 0.40))
+            .with_controller(Box::new(loadmgmt::NullController));
+        let mut st2 = EpochStepper::new(&e2, &scenario);
+        while st2.next_time().is_some_and(|t| t.as_secs() < 200.0) {
+            st2.step(&mut e2);
+        }
+        e2.set_controller(Some(Box::new(loadmgmt::HysteresisController::new(0.8))));
+        while st2.step(&mut e2) {}
+        assert_eq!(st2.finish(&mut e2).rows(), t.rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "with_capacities")]
+    fn set_controller_without_capacities_panics() {
+        let (net, dep, users) = world(3);
+        let mut e = engine(&net, &dep, &users, RecomputeMode::Incremental);
+        e.set_controller(Some(Box::new(loadmgmt::NullController)));
     }
 
     #[test]

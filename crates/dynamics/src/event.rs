@@ -115,6 +115,20 @@ pub enum RoutingEvent {
         /// (must be positive and finite).
         factor: f64,
     },
+    /// The site's serving capacity scales by `factor` — hardware added
+    /// or removed, a rack failure inside a healthy site, a provisioning
+    /// change. Like [`RoutingEvent::DemandScale`] it moves no
+    /// announcements, so assignments are untouched; only the headroom
+    /// ledger (and any attached load controller's decisions) see it.
+    /// On an engine without capacities it is a recorded no-op. Restore
+    /// with a second event carrying the reciprocal factor.
+    CapacityScale {
+        /// Site whose capacity changes.
+        site: SiteId,
+        /// Multiplier applied to the site's capacity (must be positive
+        /// and finite).
+        factor: f64,
+    },
     /// A scheduled no-op observation point: the epoch applies nothing,
     /// but an attached load controller still runs its decision rounds
     /// — how scenarios give a controller a cadence between routing
@@ -139,6 +153,7 @@ impl RoutingEvent {
             RoutingEvent::RingDemote { to } => format!("demote ring-{to}"),
             RoutingEvent::DeploymentSwap { to } => format!("swap ring-{to}"),
             RoutingEvent::DemandScale { factor, .. } => format!("surge x{factor:.2}"),
+            RoutingEvent::CapacityScale { site, factor } => format!("cap {site} x{factor:.2}"),
             RoutingEvent::LoadTick => "tick".to_string(),
         }
     }
@@ -301,6 +316,10 @@ mod tests {
             }
             .label(),
             "surge x1.75"
+        );
+        assert_eq!(
+            RoutingEvent::CapacityScale { site: SiteId(4), factor: 0.8 }.label(),
+            "cap site-4 x0.80"
         );
         assert_eq!(RoutingEvent::LoadTick.label(), "tick");
     }

@@ -188,6 +188,25 @@ impl Scenario {
             .at(start.plus_ms(hold_ms), RoutingEvent::RingDemote { to: down })
     }
 
+    /// A capacity dip: `site`'s capacity scales by `factor` at `start`
+    /// and is restored by the reciprocal factor `hold_ms` later — a
+    /// rack failure (or provisioning change) inside a healthy site.
+    /// No announcement moves, so only the headroom ledger and any
+    /// attached load controller react.
+    pub fn capacity_dip(
+        name: impl Into<String>,
+        site: SiteId,
+        start: SimTime,
+        factor: f64,
+        hold_ms: f64,
+    ) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "capacity factor must be positive");
+        assert!(hold_ms > 0.0, "hold_ms must be positive, got {hold_ms}");
+        Self::new(name)
+            .at(start, RoutingEvent::CapacityScale { site, factor })
+            .at(start.plus_ms(hold_ms), RoutingEvent::CapacityScale { site, factor: 1.0 / factor })
+    }
+
     /// A flash crowd: demand within `radius_km` of `center` scales by
     /// `factor` at `start`, holds for `hold_ms` with controller ticks
     /// every `tick_ms`, then subsides (a second scale by `1/factor`),

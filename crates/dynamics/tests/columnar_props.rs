@@ -1,18 +1,24 @@
 //! Property tests for the columnar million-user core: random
-//! flap/drain/swap gauntlets over a 50k-user expanded population must
-//! keep the incremental slice-invalidation path record-for-record
+//! flap/drain/swap/surge gauntlets over a 50k-user expanded population
+//! must keep the incremental slice-invalidation path record-for-record
 //! equal to the full-recompute oracle, conserve users, and keep the
-//! recompute ledger balanced (`recomputed + reused = population`).
+//! recompute ledger balanced (`recomputed + reused = population`) —
+//! with or without a load controller acting in the loop.
+
+mod common;
 
 use anycast_dynamics::{
-    expand_counts, DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario, SwapDeployment,
+    expand_counts, DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario,
 };
-use cdn::{Cdn, CdnConfig};
+use analysis::SiteCapacities;
+use cdn::Cdn;
+use common::swap_set;
+use loadmgmt::HysteresisController;
 use netsim::{LatencyModel, SimTime};
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
 use topology::gen::Internet;
-use topology::{InternetGenerator, SiteId, TopologyConfig};
+use topology::SiteId;
 
 const POPULATION: usize = 50_000;
 
@@ -23,32 +29,11 @@ const POPULATION: usize = 50_000;
 fn world() -> &'static (Internet, Cdn, Vec<DynUser>, Vec<u32>) {
     static WORLD: OnceLock<(Internet, Cdn, Vec<DynUser>, Vec<u32>)> = OnceLock::new();
     WORLD.get_or_init(|| {
-        let mut net = InternetGenerator::generate(&TopologyConfig::small(131));
-        let cdn = Cdn::build(&mut net, &CdnConfig { scale: 0.12, ..CdnConfig::small() });
-        let users: Vec<DynUser> = net
-            .user_locations()
-            .iter()
-            .map(|l| DynUser {
-                asn: l.asn,
-                location: net.world.region(l.region).center,
-                weight: 1.0,
-                queries_per_day: 1_000.0,
-            })
-            .collect();
+        let (net, cdn, users) = common::cdn_world(131);
         let counts =
             expand_counts(&users.iter().map(|u| u.weight).collect::<Vec<_>>(), POPULATION, 2021);
         (net, cdn, users, counts)
     })
-}
-
-fn swap_set(cdn: &Cdn) -> Vec<SwapDeployment> {
-    cdn.rings
-        .iter()
-        .map(|r| SwapDeployment {
-            deployment: Arc::clone(&r.deployment),
-            universe: cdn.ring_universe(r),
-        })
-        .collect()
 }
 
 fn engine(ring: usize, mode: RecomputeMode) -> DynamicsEngine<'static> {
@@ -81,12 +66,12 @@ fn scenario_from(steps: &[Step]) -> Scenario {
         let site = SiteId(site % n_min);
         let to = ring % n_rings;
         let t = SimTime::from_secs(f64::from(sec));
-        s = match kind % 5 {
+        s = match kind % 7 {
             0 => s.at(t, RoutingEvent::RingPromote { to }),
             1 => s.at(t, RoutingEvent::RingDemote { to }),
             2 => s.at(t, RoutingEvent::SiteDown(site)),
             3 => s.at(t, RoutingEvent::SiteUp(site)),
-            _ => s.at(
+            4 => s.at(
                 t,
                 RoutingEvent::DrainStart {
                     site,
@@ -95,9 +80,22 @@ fn scenario_from(steps: &[Step]) -> Scenario {
                     hold_ms: 40_000.0,
                 },
             ),
+            5 => s.at(t, surge(site, ring)),
+            _ => s.at(t, RoutingEvent::LoadTick),
         };
     }
     s
+}
+
+/// A regional demand surge centred on one of the smallest ring's sites
+/// (a pure function of the step tuple, factors clear of 1.0 both ways).
+fn surge(site: SiteId, ring: u32) -> RoutingEvent {
+    let (_, cdn, _, _) = world();
+    RoutingEvent::DemandScale {
+        center: cdn.rings[0].deployment.sites[site.0 as usize].location,
+        radius_km: 2_500.0 + f64::from(ring % 4) * 1_500.0,
+        factor: if ring % 2 == 0 { 1.2 + f64::from(ring % 8) * 0.2 } else { 0.7 },
+    }
 }
 
 proptest! {
@@ -109,7 +107,7 @@ proptest! {
     /// row equal, users conserved, and the recompute ledger balanced.
     #[test]
     fn columnar_incremental_matches_oracle_at_50k_users(
-        steps in proptest::collection::vec((0u8..5, 0u32..64, 0u32..8, 1u32..30), 1..8)
+        steps in proptest::collection::vec((0u8..7, 0u32..64, 0u32..8, 1u32..30), 1..8)
     ) {
         let mut inc = engine(2, RecomputeMode::Incremental);
         let mut full = engine(2, RecomputeMode::Full);
@@ -145,4 +143,73 @@ proptest! {
         let (slice, scan) = inc.invalidation_ledger();
         prop_assert!(slice <= scan, "slice {} cannot exceed scan {}", slice, scan);
     }
+
+    /// The same contract with a hysteresis controller in the loop:
+    /// shed/release rounds are part of the deterministic replay, so
+    /// the incremental engine must still match the oracle record for
+    /// record (and ledger for ledger) under churn plus surges plus
+    /// controller action.
+    #[test]
+    fn columnar_incremental_matches_oracle_under_controller_rounds(
+        steps in proptest::collection::vec((0u8..7, 0u32..64, 0u32..8, 1u32..30), 1..8)
+    ) {
+        // Swap events are out of the alphabet here: capacities and
+        // swap sets are mutually exclusive engine features, so the
+        // load engine maps them onto flaps instead.
+        let steps: Vec<Step> = steps
+            .iter()
+            .map(|&(kind, site, ring, sec)| match kind % 7 {
+                0 => (2u8, site, ring, sec),
+                1 => (3u8, site, ring, sec),
+                k => (k, site, ring, sec),
+            })
+            .collect();
+        let mut inc = load_engine(RecomputeMode::Incremental);
+        let mut full = load_engine(RecomputeMode::Full);
+        // Guaranteed observation points so the controller always gets
+        // rounds, whatever the generated alphabet rolled.
+        let scenario = scenario_from(&steps).ticks(SimTime::from_secs(40.0), 20_000.0, 6);
+        let ti = inc.run(&scenario);
+        let tf = full.run(&scenario);
+        prop_assert_eq!(ti.records.len(), tf.records.len());
+        for (a, b) in ti.records.iter().zip(&tf.records) {
+            // Everything observable must match; the recomputed/reused
+            // split is the two modes' one intended difference.
+            prop_assert_eq!(a.t_ms, b.t_ms);
+            prop_assert_eq!(&a.event, &b.event);
+            prop_assert_eq!(a.shifted, b.shifted, "at {}", a.event);
+            prop_assert_eq!(a.unserved_frac, b.unserved_frac, "at {}", a.event);
+            prop_assert_eq!(a.median_ms, b.median_ms, "at {}", a.event);
+            prop_assert_eq!(a.degraded_queries, b.degraded_queries, "at {}", a.event);
+            prop_assert_eq!(a.headroom_frac, b.headroom_frac, "at {}", a.event);
+            prop_assert_eq!(&a.note, &b.note, "at {}", a.event);
+            prop_assert_eq!(a.recomputed + a.reused, POPULATION as u64, "at {}", a.event);
+        }
+        // Rounds count only effective (shedding/releasing) decisions,
+        // so a gentle case can leave them at zero — what must hold is
+        // that both modes agree on every ledger entry, bit for bit.
+        let (li, lf) = (inc.load_ledger(), full.load_ledger());
+        prop_assert_eq!(li.controller_rounds, lf.controller_rounds);
+        prop_assert_eq!(li.shed_users.to_bits(), lf.shed_users.to_bits());
+        prop_assert_eq!(li.released_users.to_bits(), lf.released_users.to_bits());
+        prop_assert_eq!(li.overload_user_ms.to_bits(), lf.overload_user_ms.to_bits());
+        prop_assert_eq!(inc.user_snapshot(), full.user_snapshot());
+    }
+}
+
+/// An expanded engine over the third ring with tight capacities and a
+/// hysteresis controller — no swap set (capacities exclude one).
+fn load_engine(mode: RecomputeMode) -> DynamicsEngine<'static> {
+    let (net, cdn, users, counts) = world();
+    let eng = DynamicsEngine::new_expanded(
+        &net.graph,
+        Arc::clone(&cdn.rings[2].deployment),
+        LatencyModel::default(),
+        users,
+        counts,
+        2021,
+        mode,
+    );
+    let caps = SiteCapacities::from_headroom(&eng.site_loads(), 1.05, 1.0);
+    eng.with_capacities(caps).with_controller(Box::new(HysteresisController::default()))
 }

@@ -10,6 +10,8 @@
 //!   timeline byte-for-byte across every scenario family the `dyn*`
 //!   experiments script.
 
+mod common;
+
 use anycast_dynamics::{DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario};
 use analysis::SiteCapacities;
 use loadmgmt::{
@@ -19,41 +21,13 @@ use netsim::{LatencyModel, SimTime};
 use proptest::prelude::*;
 use std::sync::{Arc, Mutex, OnceLock};
 use topology::gen::Internet;
-use topology::{
-    AnycastDeployment, AnycastSite, InternetGenerator, SiteId, SiteScope, TopologyConfig,
-};
+use topology::{AnycastDeployment, SiteId};
 
 /// One shared world: building the topology dominates a proptest case,
 /// so all cases replay scenarios over the same (immutable) internet.
 fn world() -> &'static (Internet, Arc<AnycastDeployment>, Vec<DynUser>) {
     static WORLD: OnceLock<(Internet, Arc<AnycastDeployment>, Vec<DynUser>)> = OnceLock::new();
-    WORLD.get_or_init(|| {
-        let mut net = InternetGenerator::generate(&TopologyConfig::small(111));
-        let hosts = net.sample_hosters(4);
-        let sites: Vec<AnycastSite> = hosts
-            .iter()
-            .enumerate()
-            .map(|(i, h)| AnycastSite {
-                id: SiteId(i as u32),
-                name: format!("s{i}"),
-                host: *h,
-                location: net.graph.node(*h).pops[0],
-                scope: SiteScope::Global,
-            })
-            .collect();
-        let dep = AnycastDeployment::new("load-props", sites, vec![]);
-        let users: Vec<DynUser> = net
-            .user_locations()
-            .iter()
-            .map(|l| DynUser {
-                asn: l.asn,
-                location: net.world.region(l.region).center,
-                weight: 1.0,
-                queries_per_day: 1_000.0,
-            })
-            .collect();
-        (net, Arc::new(dep), users)
-    })
+    WORLD.get_or_init(|| common::flat_world(111, 4, "load-props"))
 }
 
 fn engine(mode: RecomputeMode) -> DynamicsEngine<'static> {

@@ -1,0 +1,126 @@
+//! Mid-stream resume: an [`EpochStepper`] paused after K epochs and
+//! continued — even under a different thread count, or observed
+//! through its records mid-flight — must land on the byte-identical
+//! timeline of an uninterrupted run and of the one-shot
+//! [`DynamicsEngine::run`].
+//!
+//! This is what the chaos harness and the live replay driver lean on:
+//! both interleave their own work (invariant checks, query windows)
+//! between epochs, and neither is allowed to perturb the timeline by
+//! doing so.
+
+mod common;
+
+use anycast_dynamics::{
+    DynUser, DynamicsEngine, EpochStepper, RecomputeMode, RoutingEvent, Scenario, Timeline,
+};
+use common::threads_lock;
+use netsim::{LatencyModel, SimTime};
+use std::sync::{Arc, OnceLock};
+use topology::gen::Internet;
+use topology::{AnycastDeployment, SiteId};
+
+fn world() -> &'static (Internet, Arc<AnycastDeployment>, Vec<DynUser>) {
+    static WORLD: OnceLock<(Internet, Arc<AnycastDeployment>, Vec<DynUser>)> = OnceLock::new();
+    WORLD.get_or_init(|| common::flat_world(111, 4, "resume-world"))
+}
+
+fn engine() -> DynamicsEngine<'static> {
+    let (net, dep, users) = world();
+    DynamicsEngine::new(
+        &net.graph,
+        Arc::clone(dep),
+        LatencyModel::default(),
+        users.clone(),
+        RecomputeMode::Incremental,
+    )
+}
+
+/// Churn rich enough to cross the pause point mid-drain: the paused
+/// stepper holds live engine-scheduled follow-ups when it stops.
+fn scenario() -> Scenario {
+    Scenario::new("resume-gauntlet")
+        .at(SimTime::from_secs(60.0), RoutingEvent::SiteDown(SiteId(0)))
+        .at(SimTime::from_secs(120.0), RoutingEvent::SiteUp(SiteId(0)))
+        .at(
+            SimTime::from_secs(180.0),
+            RoutingEvent::DrainStart {
+                site: SiteId(1),
+                stage_ms: 30_000.0,
+                stages: 3,
+                hold_ms: 90_000.0,
+            },
+        )
+        .at(SimTime::from_secs(240.0), RoutingEvent::SiteDown(SiteId(2)))
+        .at(SimTime::from_secs(420.0), RoutingEvent::SiteUp(SiteId(2)))
+        .ticks(SimTime::from_secs(500.0), 30_000.0, 4)
+}
+
+/// Runs the stepper in one uninterrupted burst.
+fn straight_through() -> Vec<Vec<String>> {
+    let mut eng = engine();
+    let s = scenario();
+    let mut stepper = EpochStepper::new(&eng, &s);
+    while stepper.step(&mut eng) {}
+    stepper.finish(&mut eng).rows()
+}
+
+#[test]
+fn pausing_after_k_epochs_is_invisible_in_the_timeline() {
+    let _g = threads_lock();
+    let reference = straight_through();
+    assert_eq!(reference, {
+        let mut eng = engine();
+        eng.run(&scenario()).rows()
+    }, "stepping epoch-by-epoch equals the one-shot run");
+
+    // Pause at every possible K (including mid-drain), observe the
+    // prefix, then continue: the final timeline must not notice.
+    let total_epochs = reference.len();
+    for k in [1usize, 3, 5, 7] {
+        if k >= total_epochs {
+            break;
+        }
+        let mut eng = engine();
+        let s = scenario();
+        let mut stepper = EpochStepper::new(&eng, &s);
+        for _ in 0..k {
+            assert!(stepper.step(&mut eng), "scenario has more than {k} epochs");
+        }
+        // Mid-stream observation: the records so far are exactly the
+        // prefix of the uninterrupted run (init row included).
+        let seen = Timeline { scenario: "prefix".into(), records: stepper.records().to_vec() }
+            .rows();
+        assert!(!seen.is_empty());
+        assert_eq!(
+            seen,
+            reference[..seen.len()].to_vec(),
+            "prefix after {k} stepped epochs diverges"
+        );
+        while stepper.step(&mut eng) {}
+        assert_eq!(
+            stepper.finish(&mut eng).rows(),
+            reference,
+            "resume after {k} stepped epochs changed the timeline"
+        );
+    }
+}
+
+#[test]
+fn resume_survives_a_thread_count_change_at_the_pause() {
+    let _g = threads_lock();
+    let reference = straight_through();
+    let mut eng = engine();
+    let s = scenario();
+    let mut stepper = EpochStepper::new(&eng, &s);
+    for _ in 0..4 {
+        assert!(stepper.step(&mut eng));
+    }
+    // The operator bumps parallelism mid-campaign; byte-identity is
+    // the repo's determinism contract at any thread count.
+    par::set_threads(8);
+    while stepper.step(&mut eng) {}
+    let rows = stepper.finish(&mut eng).rows();
+    par::set_threads(0);
+    assert_eq!(rows, reference, "thread-count change at the pause leaked into the timeline");
+}

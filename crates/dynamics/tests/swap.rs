@@ -4,41 +4,20 @@
 //! mid-drain demotions, same-epoch promote+demote cancellation, and
 //! identical-ring no-ops.
 
-use anycast_dynamics::{
-    DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario, SwapDeployment,
-};
-use cdn::{Cdn, CdnConfig};
+mod common;
+
+use anycast_dynamics::{DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario};
+use cdn::Cdn;
+use common::swap_set;
 use netsim::{LatencyModel, SimTime};
 use std::sync::Arc;
 use topology::gen::Internet;
-use topology::{InternetGenerator, SiteId, TopologyConfig};
+use topology::SiteId;
 
 /// A small world with the five nested rings (scale 0.12: sizes
 /// 3/6/9/11/13, matching the determinism suite's scale).
 fn cdn_world() -> (Internet, Cdn, Vec<DynUser>) {
-    let mut net = InternetGenerator::generate(&TopologyConfig::small(131));
-    let cdn = Cdn::build(&mut net, &CdnConfig { scale: 0.12, ..CdnConfig::small() });
-    let users: Vec<DynUser> = net
-        .user_locations()
-        .iter()
-        .map(|l| DynUser {
-            asn: l.asn,
-            location: net.world.region(l.region).center,
-            weight: 1.0,
-            queries_per_day: 1_000.0,
-        })
-        .collect();
-    (net, cdn, users)
-}
-
-fn swap_set(cdn: &Cdn) -> Vec<SwapDeployment> {
-    cdn.rings
-        .iter()
-        .map(|r| SwapDeployment {
-            deployment: Arc::clone(&r.deployment),
-            universe: cdn.ring_universe(r),
-        })
-        .collect()
+    common::cdn_world(131)
 }
 
 fn engine<'g>(

@@ -3,45 +3,22 @@
 //! promotion to a superset ring never makes any user worse off at
 //! convergence.
 
-use anycast_dynamics::{
-    DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario, SwapDeployment,
-};
-use cdn::{Cdn, CdnConfig};
+mod common;
+
+use anycast_dynamics::{DynUser, DynamicsEngine, RecomputeMode, RoutingEvent, Scenario};
+use cdn::Cdn;
+use common::swap_set;
 use netsim::{LatencyModel, SimTime};
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
 use topology::gen::Internet;
-use topology::{InternetGenerator, SiteId, TopologyConfig};
+use topology::SiteId;
 
 /// One shared world: building the topology dominates a proptest case,
 /// so all cases replay scenarios over the same (immutable) internet.
 fn world() -> &'static (Internet, Cdn, Vec<DynUser>) {
     static WORLD: OnceLock<(Internet, Cdn, Vec<DynUser>)> = OnceLock::new();
-    WORLD.get_or_init(|| {
-        let mut net = InternetGenerator::generate(&TopologyConfig::small(131));
-        let cdn = Cdn::build(&mut net, &CdnConfig { scale: 0.12, ..CdnConfig::small() });
-        let users: Vec<DynUser> = net
-            .user_locations()
-            .iter()
-            .map(|l| DynUser {
-                asn: l.asn,
-                location: net.world.region(l.region).center,
-                weight: 1.0,
-                queries_per_day: 1_000.0,
-            })
-            .collect();
-        (net, cdn, users)
-    })
-}
-
-fn swap_set(cdn: &Cdn) -> Vec<SwapDeployment> {
-    cdn.rings
-        .iter()
-        .map(|r| SwapDeployment {
-            deployment: Arc::clone(&r.deployment),
-            universe: cdn.ring_universe(r),
-        })
-        .collect()
+    WORLD.get_or_init(|| common::cdn_world(131))
 }
 
 fn engine(ring: usize, mode: RecomputeMode) -> DynamicsEngine<'static> {

@@ -46,6 +46,7 @@
 //! | [`dynamics`] | discrete-event routing dynamics, incremental catchment recompute |
 //! | [`loadmgmt`] | closed-loop load-management controllers (threshold, hysteresis, distributed) |
 //! | [`replay`] | live traffic replay: streaming query schedules served through the dynamics engine |
+//! | [`chaos`] | long-horizon storm campaigns: invariant checking, oracle spot-checks, seed-minimizing reproducers |
 //! | [`core`] | world builder, experiment registry, renderers |
 
 pub use anycast_core::{experiments, Artifact, World, WorldConfig};
@@ -55,6 +56,7 @@ pub use anycast_core as core;
 pub use obs;
 pub use par;
 pub use cdn;
+pub use chaos;
 pub use dns;
 pub use dynamics;
 pub use geo;

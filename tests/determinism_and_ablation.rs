@@ -2,6 +2,8 @@
 //! artifacts) and the §7.1 peering ablation (investment is what keeps
 //! CDN inflation low).
 
+mod common;
+
 use anycast_context::analysis::cdn_inflation;
 use anycast_context::{experiments, World, WorldConfig};
 use proptest::prelude::*;
@@ -28,25 +30,11 @@ fn same_seed_same_artifacts() {
 #[test]
 fn artifacts_byte_identical_across_thread_counts() {
     let config = WorldConfig::small(77);
-    let render = |threads: usize| -> Vec<(String, String)> {
-        par::set_threads(threads);
-        let world = World::build(&config);
-        let mut out = Vec::new();
-        for id in ["fig2", "fig3", "fig5", "fig12"] {
-            for a in experiments::run(id, &world) {
-                out.push((a.render_csv(), a.render_text()));
-            }
-        }
-        out
-    };
-    let single = render(1);
-    let eight = render(8);
+    let ids = ["fig2", "fig3", "fig5", "fig12"];
+    let (single, _) = common::run_at_threads(&config, &ids, 1, &[]);
+    let (eight, _) = common::run_at_threads(&config, &ids, 8, &[]);
     par::set_threads(0);
-    assert_eq!(single.len(), eight.len());
-    for (i, (s, e)) in single.iter().zip(&eight).enumerate() {
-        assert_eq!(s.0, e.0, "artifact {i}: CSV differs between 1 and 8 threads");
-        assert_eq!(s.1, e.1, "artifact {i}: text differs between 1 and 8 threads");
-    }
+    common::assert_artifacts_identical(&single, &eight);
 }
 
 #[test]

@@ -81,7 +81,7 @@ fn every_relative_doc_link_resolves() {
 #[test]
 fn required_handbook_pages_exist_and_are_scanned() {
     let files = doc_files();
-    for page in ["PIPELINE.md", "DYNAMICS.md", "REPLAY.md", "BENCHMARKS.md"] {
+    for page in ["PIPELINE.md", "DYNAMICS.md", "REPLAY.md", "BENCHMARKS.md", "TESTING.md"] {
         assert!(
             files.iter().any(|p| p.file_name().is_some_and(|f| f == page)),
             "docs/{page} is missing from the scanned documentation set"

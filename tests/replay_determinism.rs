@@ -4,7 +4,9 @@
 //! conserves: every generated query is either served or degraded, and
 //! splits exactly into its DNS and CDN components.
 
-use anycast_context::{experiments, obs, World, WorldConfig};
+mod common;
+
+use anycast_context::WorldConfig;
 
 const COUNTERS: [&str; 5] = [
     "replay.queries.generated",
@@ -19,30 +21,11 @@ const COUNTERS: [&str; 5] = [
 #[test]
 fn dynreplay_is_byte_identical_and_conserves_across_thread_counts() {
     let config = WorldConfig::small(77);
-    let run = |threads: usize| -> (Vec<(String, String)>, Vec<u64>) {
-        par::set_threads(threads);
-        let world = World::build(&config);
-        let before: Vec<u64> = COUNTERS.iter().map(|n| obs::counter_value(n)).collect();
-        let artifacts: Vec<(String, String)> = experiments::run("dynreplay", &world)
-            .iter()
-            .map(|a| (a.render_csv(), a.render_text()))
-            .collect();
-        let deltas = COUNTERS
-            .iter()
-            .zip(before)
-            .map(|(n, b)| obs::counter_value(n) - b)
-            .collect();
-        (artifacts, deltas)
-    };
-    let (single, single_counts) = run(1);
-    let (eight, eight_counts) = run(8);
+    let (single, single_counts) = common::run_at_threads(&config, &["dynreplay"], 1, &COUNTERS);
+    let (eight, eight_counts) = common::run_at_threads(&config, &["dynreplay"], 8, &COUNTERS);
     par::set_threads(0);
 
-    assert_eq!(single.len(), eight.len());
-    for (i, (s, e)) in single.iter().zip(&eight).enumerate() {
-        assert_eq!(s.0, e.0, "artifact {i}: CSV differs between 1 and 8 threads");
-        assert_eq!(s.1, e.1, "artifact {i}: text differs between 1 and 8 threads");
-    }
+    common::assert_artifacts_identical(&single, &eight);
     assert_eq!(
         single_counts, eight_counts,
         "replay.* counters must be thread-count independent"
